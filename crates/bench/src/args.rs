@@ -1,0 +1,63 @@
+//! Minimal `KEY=VALUE` command-line parsing shared by the experiment
+//! binaries (no external dependency).
+
+use std::collections::HashMap;
+
+/// Parsed `KEY=VALUE` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    map: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`.
+    pub fn from_env() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (for tests).
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut map = HashMap::new();
+        for arg in iter {
+            if let Some((k, v)) = arg.split_once('=') {
+                map.insert(k.to_string(), v.to_string());
+            }
+        }
+        Args { map }
+    }
+
+    /// Integer argument with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.map
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Usize argument with default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.map
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// String argument with default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.map.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_defaults() {
+        let a = Args::from_iter(["budget=120".to_string(), "suite=spec17".to_string()]);
+        assert_eq!(a.get_u64("budget", 10), 120);
+        assert_eq!(a.get_u64("missing", 7), 7);
+        assert_eq!(a.get_str("suite", "spec06"), "spec17");
+        assert_eq!(a.get_usize("budget", 0), 120);
+    }
+}

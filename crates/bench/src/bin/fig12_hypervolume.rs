@@ -1,0 +1,160 @@
+//! **Figure 12**: Pareto-hypervolume-versus-simulations curves for every
+//! DSE method on the SPEC06- and SPEC17-like suites.
+//!
+//! Paper shape: ArchExplorer's curve rises earliest and dominates the
+//! black-box baselines across budgets.
+//!
+//! ```sh
+//! cargo run -p archx-bench --release --bin fig12_hypervolume \
+//!     [budget=N] [instrs=N] [seed=S] [workloads=N] [suite=spec06|spec17|both]
+//! ```
+//!
+//! Defaults keep the run in minutes; raise `budget`/`instrs` for smoother
+//! curves (the paper runs to 3000+ simulations of 100 K-instruction
+//! Simpoint windows).
+
+use archexplorer::dse::campaign::{sweep, Campaign};
+use archexplorer::prelude::*;
+use archx_bench::{Args, Table};
+
+/// Multi-seed variant: prints mean ± std hypervolume per budget point.
+fn run_suite_sweep(name: &str, suite: Vec<Workload>, cfg: &CampaignConfig, seeds: &[u64]) {
+    let space = DesignSpace::table4();
+    let methods = [
+        Method::ArchExplorer,
+        Method::AdaBoost,
+        Method::ArchRanker,
+        Method::BoomExplorer,
+        Method::Random,
+        Method::Calipers,
+    ];
+    eprintln!(
+        "[{name}] sweeping {} methods x {} sims x {} seeds...",
+        methods.len(),
+        cfg.sim_budget,
+        seeds.len()
+    );
+    let r = RefPoint::default();
+    let step = (cfg.sim_budget / 12).max(1);
+    let curves = sweep(&methods, &space, &suite, cfg, seeds, &r, step);
+    let mut header = vec!["sims".to_string()];
+    header.extend(curves.iter().map(|c| c.method.clone()));
+    let mut t = Table::new(header);
+    let len = curves.iter().map(|c| c.points.len()).max().unwrap_or(0);
+    for i in 0..len {
+        let mut row = vec![((i as u64 + 1) * step).to_string()];
+        for c in &curves {
+            row.push(
+                c.points
+                    .get(i)
+                    .map(|&(_, mean, std)| format!("{mean:.3}±{std:.3}"))
+                    .unwrap_or_else(|| "-".to_string()),
+            );
+        }
+        t.row(row);
+    }
+    println!(
+        "
+Figure 12 [{name}] over seeds {seeds:?}: mean ± std hypervolume
+{}",
+        t.to_text()
+    );
+}
+
+fn run_suite(name: &str, suite: Vec<Workload>, cfg: &CampaignConfig) {
+    let space = DesignSpace::table4();
+    let methods = [
+        Method::ArchExplorer,
+        Method::AdaBoost,
+        Method::ArchRanker,
+        Method::BoomExplorer,
+        Method::Random,
+        Method::Calipers,
+    ];
+    eprintln!(
+        "[{name}] running {} methods x {} sims ({} workloads, {} instrs each)...",
+        methods.len(),
+        cfg.sim_budget,
+        suite.len(),
+        cfg.instrs_per_workload
+    );
+    let campaign = Campaign::run(&methods, &space, &suite, cfg);
+
+    let r = RefPoint::default();
+    let step = (cfg.sim_budget / 12).max(1);
+    let curves = campaign.curves(&r, step);
+    let mut header = vec!["sims".to_string()];
+    header.extend(curves.iter().map(|(m, _)| m.clone()));
+    let mut t = Table::new(header);
+    let len = curves.iter().map(|(_, c)| c.len()).max().unwrap_or(0);
+    for i in 0..len {
+        let mut row = vec![((i as u64 + 1) * step).to_string()];
+        for (_, curve) in &curves {
+            row.push(
+                curve
+                    .get(i)
+                    .map(|(_, hv)| format!("{hv:.4}"))
+                    .unwrap_or_else(|| "-".to_string()),
+            );
+        }
+        t.row(row);
+    }
+    println!("\nFigure 12 [{name}]: Pareto hypervolume vs simulations\n{}", t.to_text());
+
+    // Shape check: where does ArchExplorer stand at the final budget?
+    let finals: Vec<(String, f64)> = curves
+        .iter()
+        .filter_map(|(m, c)| c.last().map(|&(_, hv)| (m.clone(), hv)))
+        .collect();
+    let ax = finals
+        .iter()
+        .find(|(m, _)| m == "ArchExplorer")
+        .map(|&(_, hv)| hv)
+        .unwrap_or(0.0);
+    let beaten = finals
+        .iter()
+        .filter(|(m, hv)| m != "ArchExplorer" && ax >= *hv)
+        .count();
+    println!(
+        "[{name}] ArchExplorer final HV {ax:.4} ≥ {beaten}/{} baselines",
+        finals.len() - 1
+    );
+}
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = CampaignConfig {
+        sim_budget: args.get_u64("budget", 360),
+        instrs_per_workload: args.get_usize("instrs", 20_000),
+        seed: args.get_u64("seed", 1),
+        trace_seed: None,
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+    };
+    let limit = args.get_usize("workloads", usize::MAX);
+    let which = args.get_str("suite", "both");
+    let n_seeds = args.get_usize("seeds", 1);
+
+    let trim = |mut v: Vec<Workload>| {
+        v.truncate(limit.max(1));
+        let w = 1.0 / v.len() as f64;
+        for x in &mut v {
+            x.weight = w;
+        }
+        v
+    };
+    let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| cfg.seed + i).collect();
+    if which == "spec06" || which == "both" {
+        if n_seeds > 1 {
+            run_suite_sweep("SPEC06", trim(spec06_suite()), &cfg, &seeds);
+        } else {
+            run_suite("SPEC06", trim(spec06_suite()), &cfg);
+        }
+    }
+    if which == "spec17" || which == "both" {
+        if n_seeds > 1 {
+            run_suite_sweep("SPEC17", trim(spec17_suite()), &cfg, &seeds);
+        } else {
+            run_suite("SPEC17", trim(spec17_suite()), &cfg);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Shared helpers for the ArchExplorer benchmark/experiment harnesses.
+//! The per-figure binaries live in `src/bin/`; Criterion benches in
+//! `benches/`.
+
+pub mod args;
+pub mod emit;
+
+pub use args::Args;
+pub use emit::Table;

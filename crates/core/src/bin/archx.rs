@@ -1,0 +1,214 @@
+//! `archx` — command-line front end for the ArchExplorer reproduction.
+//!
+//! ```text
+//! archx analyze  [suite=spec06|spec17] [workloads=N] [instrs=N] [PARAM=V ...]
+//! archx explore  [method=NAME] [budget=N] [suite=...] [instrs=N] [seed=N]
+//! archx export   [workload=NAME] [instrs=N] [seed=N]        # trace to stdout
+//! archx import   file=TRACE                                  # analyze external trace
+//! archx space                                                # design-space summary
+//! ```
+//!
+//! Parameter overrides use the Table 4 names (`Rob=128`, `IntRf=160`,
+//! `Width=6`, `DCacheKb=64`, …).
+
+use archexplorer::deg::prelude::*;
+use archexplorer::dse::campaign::{run_method, CampaignConfig};
+use archexplorer::prelude::*;
+use archexplorer::sim::extern_trace;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_kv(args: &[String]) -> HashMap<String, String> {
+    args.iter()
+        .filter_map(|a| a.split_once('=').map(|(k, v)| (k.to_string(), v.to_string())))
+        .collect()
+}
+
+fn get<T: std::str::FromStr>(kv: &HashMap<String, String>, key: &str, default: T) -> T {
+    kv.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn suite_of(kv: &HashMap<String, String>) -> Suite {
+    match kv.get("suite").map(String::as_str) {
+        Some("spec17") => Suite::Spec17,
+        _ => Suite::Spec06,
+    }
+}
+
+/// Workload list: `suite_file=PATH` (custom suite description) wins over
+/// the bundled `suite=spec06|spec17`.
+fn workloads_of(kv: &HashMap<String, String>) -> Result<Vec<Workload>, String> {
+    if let Some(path) = kv.get("suite_file") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        return archexplorer::workloads::parse_suite(&text).map_err(|e| e.to_string());
+    }
+    Ok(suite_of(kv).workloads())
+}
+
+fn arch_with_overrides(kv: &HashMap<String, String>) -> Result<MicroArch, String> {
+    let mut arch = MicroArch::baseline();
+    for (k, v) in kv {
+        if let Some(param) = ParamId::ALL.iter().find(|p| format!("{p}") == *k) {
+            let value: u32 = v
+                .parse()
+                .map_err(|_| format!("parameter {k} needs an integer, got `{v}`"))?;
+            param.set(&mut arch, value);
+        }
+    }
+    arch.validate().map_err(|e| e.to_string())?;
+    Ok(arch)
+}
+
+fn cmd_analyze(kv: &HashMap<String, String>) -> Result<(), String> {
+    use archexplorer::dse::eval::{Analysis, Evaluator};
+    let arch = arch_with_overrides(kv)?;
+    let mut suite = workloads_of(kv)?;
+    suite.truncate(get(kv, "workloads", usize::MAX).max(1));
+    let w = 1.0 / suite.len() as f64;
+    for x in &mut suite {
+        x.weight = w;
+    }
+    let evaluator = Evaluator::new(suite, get(kv, "instrs", 20_000), get(kv, "seed", 1));
+    println!("design: {arch}");
+    let e = evaluator.evaluate_with(&arch, Analysis::NewDeg);
+    println!(
+        "IPC {:.4}  power {:.4} W  area {:.4} mm²  Perf²/(P×A) {:.4}\n",
+        e.ppa.ipc,
+        e.ppa.power_w,
+        e.ppa.area_mm2,
+        e.ppa.tradeoff()
+    );
+    println!("{}", e.report.expect("analysis requested").render());
+    Ok(())
+}
+
+fn cmd_explore(kv: &HashMap<String, String>) -> Result<(), String> {
+    let method = match kv.get("method").map(String::as_str).unwrap_or("archexplorer") {
+        "archexplorer" => Method::ArchExplorer,
+        "random" => Method::Random,
+        "adaboost" => Method::AdaBoost,
+        "archranker" => Method::ArchRanker,
+        "boom" | "boom-explorer" => Method::BoomExplorer,
+        "calipers" => Method::Calipers,
+        other => return Err(format!("unknown method `{other}`")),
+    };
+    let mut suite = workloads_of(kv)?;
+    suite.truncate(get(kv, "workloads", usize::MAX).max(1));
+    let w = 1.0 / suite.len() as f64;
+    for x in &mut suite {
+        x.weight = w;
+    }
+    let cfg = CampaignConfig {
+        sim_budget: get(kv, "budget", 240),
+        instrs_per_workload: get(kv, "instrs", 20_000),
+        seed: get(kv, "seed", 1),
+        trace_seed: None,
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+    };
+    eprintln!(
+        "exploring with {method} for {} simulations ({} workloads x {} instrs)...",
+        cfg.sim_budget,
+        suite.len(),
+        cfg.instrs_per_workload
+    );
+    let log = run_method(method, &DesignSpace::table4(), &suite, &cfg);
+    let best = log.best_tradeoff().ok_or("no designs explored")?;
+    println!("explored {} designs", log.records.len());
+    println!("best by Perf²/(P×A): {}", best.arch);
+    println!(
+        "  IPC {:.4}  power {:.4} W  area {:.4} mm²  trade-off {:.4}",
+        best.ppa.ipc,
+        best.ppa.power_w,
+        best.ppa.area_mm2,
+        best.ppa.tradeoff()
+    );
+    println!("Pareto frontier ({} designs):", log.frontier().len());
+    for (arch, ppa) in log.frontier() {
+        println!(
+            "  ipc={:.4} power={:.4} area={:.4}  {}",
+            ppa.ipc, ppa.power_w, ppa.area_mm2, arch
+        );
+    }
+    let hv = hypervolume(
+        &log.records.iter().map(|r| r.ppa).collect::<Vec<_>>(),
+        &RefPoint::default(),
+    );
+    println!("Pareto hypervolume: {hv:.4}");
+    Ok(())
+}
+
+fn cmd_export(kv: &HashMap<String, String>) -> Result<(), String> {
+    let arch = arch_with_overrides(kv)?;
+    let suite = workloads_of(kv)?;
+    let name = kv.get("workload").cloned().unwrap_or_else(|| suite[0].id.0.to_string());
+    let workload = suite
+        .iter()
+        .find(|w| w.id.0.contains(name.as_str()))
+        .ok_or_else(|| format!("no workload matching `{name}`"))?;
+    let trace = workload.generate(get(kv, "instrs", 20_000), get(kv, "seed", 1));
+    let result = OooCore::new(arch).run(&trace);
+    print!("{}", extern_trace::export(&result));
+    Ok(())
+}
+
+fn cmd_import(kv: &HashMap<String, String>) -> Result<(), String> {
+    let path = kv.get("file").ok_or("import needs file=PATH")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let result = extern_trace::import(&text).map_err(|e| e.to_string())?;
+    println!(
+        "imported {} instructions, {} cycles (IPC {:.4})",
+        result.stats.committed,
+        result.trace.cycles,
+        result.stats.ipc()
+    );
+    let mut deg = induce(build_deg(&result));
+    let path_ = archexplorer::deg::critical::critical_path_mut(&mut deg);
+    println!(
+        "induced DEG: {} vertices, {} edges; critical path length {} (cost {})\n",
+        deg.node_count(),
+        deg.edge_count(),
+        path_.total_delay,
+        path_.cost
+    );
+    println!("{}", archexplorer::deg::bottleneck::analyze(&deg, &path_).render());
+    Ok(())
+}
+
+fn cmd_space() -> Result<(), String> {
+    let space = DesignSpace::table4();
+    println!("Table 4 design space: {} designs", space.size());
+    for &p in &ParamId::ALL {
+        let c = space.candidates(p);
+        println!(
+            "  {p:<16} {} candidates: {:?}{}",
+            c.len(),
+            &c[..c.len().min(8)],
+            if c.len() > 8 { " ..." } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: archx <analyze|explore|export|import|space> [key=value ...]");
+        return ExitCode::FAILURE;
+    };
+    let kv = parse_kv(&args[1..]);
+    let result = match cmd.as_str() {
+        "analyze" => cmd_analyze(&kv),
+        "explore" => cmd_explore(&kv),
+        "export" => cmd_export(&kv),
+        "import" => cmd_import(&kv),
+        "space" => cmd_space(),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+//! # archexplorer — microarchitecture exploration via bottleneck analysis
+//!
+//! A from-scratch Rust reproduction of *“ArchExplorer: Microarchitecture
+//! Exploration Via Bottleneck Analysis”* (MICRO 2023): a cycle-level
+//! out-of-order CPU simulator, a McPAT-lite power/area model, the paper's
+//! dynamic event-dependence graph (DEG) with induced-DEG critical-path
+//! construction and bottleneck attribution, and the bottleneck-removal
+//! design-space explorer with four black-box baselines.
+//!
+//! The crates compose bottom-up:
+//!
+//! | layer | crate | re-exported as |
+//! |---|---|---|
+//! | simulator substrate | `archx-sim` | [`sim`] |
+//! | SPEC-like workloads | `archx-workloads` | [`workloads`] |
+//! | power/area model | `archx-power` | [`power`] |
+//! | DEG + critical path | `archx-deg` | [`deg`] |
+//! | search + baselines | `archx-dse` | [`dse`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use archexplorer::prelude::*;
+//!
+//! // Analyse one design's bottlenecks on a small workload sample.
+//! let session = Session::builder()
+//!     .suite(Suite::Spec06)
+//!     .instrs_per_workload(2_000)
+//!     .workload_limit(2)
+//!     .threads(1)
+//!     .build();
+//! let report = session.analyze(&MicroArch::baseline());
+//! println!("{}", report.render());
+//!
+//! // Explore: bottleneck-removal-driven DSE under a simulation budget.
+//! let log = session.explore(Method::ArchExplorer, 12);
+//! assert!(!log.records.is_empty());
+//! ```
+
+pub use archx_deg as deg;
+pub use archx_dse as dse;
+pub use archx_power as power;
+pub use archx_sim as sim;
+pub use archx_workloads as workloads;
+
+pub mod session;
+
+pub use session::{Session, SessionBuilder, Suite};
+
+/// The most commonly used items across all layers.
+pub mod prelude {
+    pub use crate::session::{Session, SessionBuilder, Suite};
+    pub use archx_deg::prelude::*;
+    pub use archx_dse::prelude::*;
+    pub use archx_power::{PowerModel, PpaResult};
+    pub use archx_sim::{MicroArch, OooCore, SimStats};
+    pub use archx_workloads::{spec06_suite, spec17_suite, Workload};
+}

@@ -1,0 +1,213 @@
+//! A high-level session API tying the simulator, power model, DEG
+//! analysis and explorers together behind one builder.
+
+use archx_deg::BottleneckReport;
+use archx_dse::campaign::{run_method, CampaignConfig, Method};
+use archx_dse::eval::{Analysis, DesignEval, Evaluator, RunLog};
+use archx_dse::space::DesignSpace;
+use archx_sim::MicroArch;
+use archx_workloads::{spec06_suite, spec17_suite, Workload};
+
+/// Which bundled workload suite to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// The 12 SPEC CPU2006-like workloads.
+    Spec06,
+    /// The 14 SPEC CPU2017-like workloads.
+    Spec17,
+}
+
+impl Suite {
+    /// Materialises the workload list.
+    pub fn workloads(self) -> Vec<Workload> {
+        match self {
+            Suite::Spec06 => spec06_suite(),
+            Suite::Spec17 => spec17_suite(),
+        }
+    }
+}
+
+/// Builder for [`Session`].
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    suite: Suite,
+    workload_limit: usize,
+    instrs_per_workload: usize,
+    seed: u64,
+    threads: usize,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder {
+            suite: Suite::Spec06,
+            workload_limit: usize::MAX,
+            instrs_per_workload: 10_000,
+            seed: 1,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Selects the workload suite.
+    pub fn suite(mut self, suite: Suite) -> Self {
+        self.suite = suite;
+        self
+    }
+
+    /// Uses only the first `n` workloads (useful for fast experiments).
+    pub fn workload_limit(mut self, n: usize) -> Self {
+        self.workload_limit = n.max(1);
+        self
+    }
+
+    /// Instructions simulated per workload (the paper's analysis window).
+    pub fn instrs_per_workload(mut self, n: usize) -> Self {
+        self.instrs_per_workload = n.max(100);
+        self
+    }
+
+    /// Trace/search seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Worker threads for workload-parallel simulation.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Builds the session (synthesises the workload traces).
+    pub fn build(self) -> Session {
+        let mut suite = self.suite.workloads();
+        suite.truncate(self.workload_limit);
+        let w = 1.0 / suite.len() as f64;
+        for wl in &mut suite {
+            wl.weight = w;
+        }
+        let evaluator =
+            Evaluator::new(suite.clone(), self.instrs_per_workload, self.seed).with_threads(self.threads);
+        Session {
+            space: DesignSpace::table4(),
+            suite,
+            evaluator,
+            instrs_per_workload: self.instrs_per_workload,
+            seed: self.seed,
+            threads: self.threads,
+        }
+    }
+}
+
+/// A configured exploration/analysis session.
+#[derive(Debug)]
+pub struct Session {
+    space: DesignSpace,
+    suite: Vec<Workload>,
+    evaluator: Evaluator,
+    instrs_per_workload: usize,
+    seed: u64,
+    threads: usize,
+}
+
+impl Session {
+    /// Starts building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The Table 4 design space.
+    pub fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    /// The session's workload suite.
+    pub fn suite(&self) -> &[Workload] {
+        &self.suite
+    }
+
+    /// The shared evaluator (design cache + simulation counter).
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
+    }
+
+    /// Simulates a design over the suite and returns its PPA evaluation.
+    pub fn evaluate(&self, arch: &MicroArch) -> DesignEval {
+        self.evaluator.evaluate(arch, false)
+    }
+
+    /// Full bottleneck analysis of a design (new DEG, merged over the
+    /// suite with Eq. 2 weights).
+    pub fn analyze(&self, arch: &MicroArch) -> BottleneckReport {
+        self.evaluator
+            .evaluate_with(arch, Analysis::NewDeg)
+            .report
+            .expect("analysis requested")
+    }
+
+    /// Runs one DSE method for `sim_budget` simulations on a **fresh**
+    /// evaluator (so methods never share caches or budgets).
+    pub fn explore(&self, method: Method, sim_budget: u64) -> RunLog {
+        let cfg = CampaignConfig {
+            sim_budget,
+            instrs_per_workload: self.instrs_per_workload,
+            seed: self.seed,
+        trace_seed: None,
+            threads: self.threads,
+        };
+        run_method(method, &self.space, &self.suite, &cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Session {
+        Session::builder()
+            .suite(Suite::Spec06)
+            .workload_limit(2)
+            .instrs_per_workload(1_000)
+            .threads(1)
+            .build()
+    }
+
+    #[test]
+    fn builder_limits_and_reweights() {
+        let s = tiny();
+        assert_eq!(s.suite().len(), 2);
+        let total: f64 = s.suite().iter().map(|w| w.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_and_analyze() {
+        let s = tiny();
+        let e = s.evaluate(&MicroArch::baseline());
+        assert!(e.ppa.ipc > 0.0);
+        let rep = s.analyze(&MicroArch::baseline());
+        assert!(rep.length > 0);
+    }
+
+    #[test]
+    fn explore_runs_each_method_fresh() {
+        let s = tiny();
+        let log = s.explore(Method::Random, 6);
+        assert!(!log.records.is_empty());
+        // The session evaluator is untouched by exploration.
+        assert_eq!(s.evaluator().sim_count(), 0);
+    }
+
+    #[test]
+    fn spec17_suite_selectable() {
+        let s = Session::builder()
+            .suite(Suite::Spec17)
+            .workload_limit(3)
+            .instrs_per_workload(500)
+            .threads(1)
+            .build();
+        assert_eq!(s.suite().len(), 3);
+    }
+}

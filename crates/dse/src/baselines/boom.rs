@@ -1,0 +1,159 @@
+//! BOOM-Explorer-style Bayesian optimisation (Bai et al.): a
+//! Gaussian-process surrogate with diversity-aware initial sampling and an
+//! expected-improvement acquisition, batched per round.
+
+use crate::eval::{Evaluator, RunLog};
+use crate::ml::GaussianProcess;
+use crate::space::DesignSpace;
+use archx_sim::MicroArch;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Tuning knobs for the BOOM-Explorer baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoomOptions {
+    /// Initial designs chosen by maximin diversity sampling.
+    pub init_designs: usize,
+    /// Pool size for both initial sampling and acquisition.
+    pub pool: usize,
+    /// Designs simulated per acquisition round.
+    pub batch: usize,
+    /// GP observation noise.
+    pub noise: f64,
+}
+
+impl Default for BoomOptions {
+    fn default() -> Self {
+        BoomOptions {
+            init_designs: 8,
+            pool: 512,
+            batch: 2,
+            noise: 1e-4,
+        }
+    }
+}
+
+/// Maximin (farthest-point) selection of `k` diverse designs from a pool —
+/// the stand-in for BOOM-Explorer's clustered initial sampling.
+fn maximin_sample(space: &DesignSpace, pool: &[MicroArch], k: usize) -> Vec<MicroArch> {
+    if pool.is_empty() {
+        return Vec::new();
+    }
+    let feats: Vec<Vec<f64>> = pool.iter().map(|a| space.features(a)).collect();
+    let mut chosen = vec![0usize];
+    while chosen.len() < k.min(pool.len()) {
+        let next = (0..pool.len())
+            .filter(|i| !chosen.contains(i))
+            .max_by(|&a, &b| {
+                let da = chosen
+                    .iter()
+                    .map(|&c| sq(&feats[a], &feats[c]))
+                    .fold(f64::INFINITY, f64::min);
+                let db = chosen
+                    .iter()
+                    .map(|&c| sq(&feats[b], &feats[c]))
+                    .fold(f64::INFINITY, f64::min);
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .expect("non-empty remainder");
+        chosen.push(next);
+    }
+    chosen.into_iter().map(|i| pool[i]).collect()
+}
+
+fn sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs GP Bayesian optimisation until the budget is exhausted.
+pub fn run_boom_explorer(
+    space: &DesignSpace,
+    evaluator: &Evaluator,
+    sim_budget: u64,
+    seed: u64,
+    opts: &BoomOptions,
+) -> RunLog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut log = RunLog::new("BOOM-Explorer");
+    let mut seen: HashSet<MicroArch> = HashSet::new();
+    let mut x: Vec<Vec<f64>> = Vec::new();
+    let mut y: Vec<f64> = Vec::new();
+
+    let mut simulate = |arch: MicroArch,
+                        log: &mut RunLog,
+                        x: &mut Vec<Vec<f64>>,
+                        y: &mut Vec<f64>,
+                        seen: &mut HashSet<MicroArch>| {
+        if !seen.insert(arch) {
+            return;
+        }
+        let e = evaluator.evaluate(&arch, false);
+        log.push(arch, e.ppa, evaluator.sim_count());
+        x.push(space.features(&arch));
+        y.push(e.ppa.tradeoff());
+    };
+
+    // Diversity-aware initialisation.
+    let pool: Vec<MicroArch> = (0..opts.pool).map(|_| space.random(&mut rng)).collect();
+    for arch in maximin_sample(space, &pool, opts.init_designs) {
+        if evaluator.sim_count() >= sim_budget {
+            return log;
+        }
+        simulate(arch, &mut log, &mut x, &mut y, &mut seen);
+    }
+
+    while evaluator.sim_count() < sim_budget {
+        let gp = GaussianProcess::fit(x.clone(), &y, opts.noise);
+        let best = y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut scored: Vec<(f64, MicroArch)> = (0..opts.pool)
+            .map(|_| {
+                let a = space.random(&mut rng);
+                (gp.expected_improvement(&space.features(&a), best), a)
+            })
+            .filter(|(_, a)| !seen.contains(a))
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite EI"));
+        let mut advanced = false;
+        for (_, arch) in scored.into_iter().take(opts.batch) {
+            if evaluator.sim_count() >= sim_budget {
+                break;
+            }
+            simulate(arch, &mut log, &mut x, &mut y, &mut seen);
+            advanced = true;
+        }
+        if !advanced {
+            // Degenerate pool (all seen): fall back to random.
+            let arch = space.random(&mut rng);
+            simulate(arch, &mut log, &mut x, &mut y, &mut seen);
+        }
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archx_workloads::spec06_suite;
+
+    #[test]
+    fn maximin_prefers_spread() {
+        let space = DesignSpace::table4();
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool: Vec<MicroArch> = (0..50).map(|_| space.random(&mut rng)).collect();
+        let chosen = maximin_sample(&space, &pool, 5);
+        assert_eq!(chosen.len(), 5);
+        let distinct: HashSet<_> = chosen.iter().collect();
+        assert_eq!(distinct.len(), 5);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let suite: Vec<_> = spec06_suite().into_iter().take(2).collect();
+        let ev = Evaluator::new(suite, 1_000, 1).with_threads(1);
+        let log = run_boom_explorer(&DesignSpace::table4(), &ev, 24, 5, &BoomOptions::default());
+        assert!(ev.sim_count() >= 24);
+        assert!(log.records.len() >= 12);
+        assert_eq!(log.method, "BOOM-Explorer");
+    }
+}

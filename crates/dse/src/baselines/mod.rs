@@ -1,0 +1,25 @@
+//! Baseline DSE methods the paper compares against: random search,
+//! AdaBoost(.RT), ArchRanker-style pairwise ranking, a
+//! BOOM-Explorer-style Gaussian-process Bayesian optimiser, and the
+//! Calipers-guided variant of bottleneck-driven search.
+//!
+//! Fidelity notes (also in DESIGN.md): the published baselines target
+//! multi-objective spaces with method-specific machinery (ArchRanker's
+//! constrained binary search, BOOM-Explorer's DKL-GP with EIPV). Here each
+//! keeps its algorithmic core — the surrogate/ranking model and its
+//! acquisition loop — while sharing this crate's evaluator; acquisition is
+//! driven by the paper's scalar PPA trade-off `Perf²/(Power×Area)` and the
+//! Pareto frontier is computed from all simulated designs, exactly as the
+//! paper evaluates every method by the hypervolume of its exploration set.
+
+pub mod adaboost;
+pub mod boom;
+pub mod calipers_dse;
+pub mod random;
+pub mod ranker;
+
+pub use adaboost::run_adaboost;
+pub use boom::run_boom_explorer;
+pub use calipers_dse::run_calipers_dse;
+pub use random::run_random_search;
+pub use ranker::run_archranker;

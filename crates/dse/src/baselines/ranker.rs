@@ -1,0 +1,140 @@
+//! ArchRanker-style DSE: a pairwise ranking model over design features
+//! (Chen et al.). The model learns "which of two designs is better" from
+//! simulated comparisons, then each round ranks a candidate pool by
+//! tournament against the incumbent set and simulates the designs ranked
+//! most promising.
+
+use crate::eval::{Evaluator, RunLog};
+use crate::ml::RankBoost;
+use crate::space::DesignSpace;
+use archx_sim::MicroArch;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Tuning knobs for the ArchRanker baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankerOptions {
+    /// Random designs simulated before the first fit.
+    pub init_designs: usize,
+    /// Candidate pool per round.
+    pub pool: usize,
+    /// Designs simulated per round.
+    pub batch: usize,
+    /// Boosting rounds of the ranking model.
+    pub rounds: usize,
+    /// Incumbents each candidate is compared against.
+    pub tournament: usize,
+}
+
+impl Default for RankerOptions {
+    fn default() -> Self {
+        RankerOptions {
+            init_designs: 10,
+            pool: 256,
+            batch: 4,
+            rounds: 20,
+            tournament: 8,
+        }
+    }
+}
+
+/// Runs the pairwise-ranking DSE until the budget is exhausted.
+pub fn run_archranker(
+    space: &DesignSpace,
+    evaluator: &Evaluator,
+    sim_budget: u64,
+    seed: u64,
+    opts: &RankerOptions,
+) -> RunLog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut log = RunLog::new("ArchRanker");
+    let mut seen: HashSet<MicroArch> = HashSet::new();
+    // (features, tradeoff) of every simulated design.
+    let mut evaluated: Vec<(Vec<f64>, f64)> = Vec::new();
+
+    let mut simulate = |arch: MicroArch,
+                        log: &mut RunLog,
+                        evaluated: &mut Vec<(Vec<f64>, f64)>,
+                        seen: &mut HashSet<MicroArch>| {
+        if !seen.insert(arch) {
+            return;
+        }
+        let e = evaluator.evaluate(&arch, false);
+        log.push(arch, e.ppa, evaluator.sim_count());
+        evaluated.push((space.features(&arch), e.ppa.tradeoff()));
+    };
+
+    for _ in 0..opts.init_designs {
+        if evaluator.sim_count() >= sim_budget {
+            return log;
+        }
+        let arch = space.random(&mut rng);
+        simulate(arch, &mut log, &mut evaluated, &mut seen);
+    }
+
+    while evaluator.sim_count() < sim_budget {
+        // All ordered pairs with distinct outcomes become training data.
+        let mut pairs: Vec<(Vec<f64>, Vec<f64>)> = Vec::new();
+        for i in 0..evaluated.len() {
+            for j in i + 1..evaluated.len() {
+                let (fi, ti) = &evaluated[i];
+                let (fj, tj) = &evaluated[j];
+                if ti > tj {
+                    pairs.push((fi.clone(), fj.clone()));
+                } else if tj > ti {
+                    pairs.push((fj.clone(), fi.clone()));
+                }
+            }
+        }
+        if pairs.is_empty() {
+            let arch = space.random(&mut rng);
+            simulate(arch, &mut log, &mut evaluated, &mut seen);
+            continue;
+        }
+        // Cap pair count to keep fitting cheap on long runs.
+        pairs.truncate(2_000);
+        let ranker = RankBoost::fit(&pairs, opts.rounds);
+
+        // Rank candidates by wins against the best incumbents.
+        let mut incumbents: Vec<&(Vec<f64>, f64)> = evaluated.iter().collect();
+        incumbents.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite tradeoffs"));
+        incumbents.truncate(opts.tournament);
+        let mut scored: Vec<(f64, MicroArch)> = (0..opts.pool)
+            .map(|_| {
+                let a = space.random(&mut rng);
+                let f = space.features(&a);
+                let wins: f64 = incumbents
+                    .iter()
+                    .map(|(inc, _)| ranker.compare(&f, inc))
+                    .sum();
+                (wins, a)
+            })
+            .filter(|(_, a)| !seen.contains(a))
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+        for (_, arch) in scored.into_iter().take(opts.batch) {
+            if evaluator.sim_count() >= sim_budget {
+                break;
+            }
+            simulate(arch, &mut log, &mut evaluated, &mut seen);
+        }
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archx_workloads::spec06_suite;
+
+    #[test]
+    fn respects_budget() {
+        let suite: Vec<_> = spec06_suite().into_iter().take(2).collect();
+        let ev = Evaluator::new(suite, 1_000, 1).with_threads(1);
+        let log = run_archranker(&DesignSpace::table4(), &ev, 26, 3, &RankerOptions::default());
+        assert!(ev.sim_count() >= 26);
+        assert!(log.records.len() >= 13);
+        assert_eq!(log.method, "ArchRanker");
+    }
+}

@@ -1,0 +1,314 @@
+//! Method-versus-method campaigns: run every DSE algorithm on identical
+//! evaluators/budgets and collect their hypervolume-versus-simulations
+//! curves (the machinery behind the paper's Figure 12 and Table 5).
+
+use crate::archexplorer::{run_archexplorer, ArchExplorerOptions};
+use crate::baselines::adaboost::AdaBoostOptions;
+use crate::baselines::boom::BoomOptions;
+use crate::baselines::ranker::RankerOptions;
+use crate::baselines::{
+    run_adaboost, run_archranker, run_boom_explorer, run_calipers_dse, run_random_search,
+};
+use crate::eval::{Evaluator, RunLog};
+use crate::pareto::RefPoint;
+use crate::space::DesignSpace;
+use archx_workloads::Workload;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The DSE methods under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Bottleneck-removal-driven search with the new DEG (this paper).
+    ArchExplorer,
+    /// Uniform random search.
+    Random,
+    /// AdaBoost.RT surrogate screening.
+    AdaBoost,
+    /// Pairwise-ranking surrogate (ArchRanker).
+    ArchRanker,
+    /// Gaussian-process Bayesian optimisation (BOOM-Explorer).
+    BoomExplorer,
+    /// Bottleneck-removal with the prior DEG formulation (Calipers).
+    Calipers,
+}
+
+impl Method {
+    /// The methods of the paper's headline comparison (Fig. 12 / Table 5).
+    pub const PAPER_SET: [Method; 4] = [
+        Method::ArchExplorer,
+        Method::AdaBoost,
+        Method::ArchRanker,
+        Method::BoomExplorer,
+    ];
+
+    /// All implemented methods.
+    pub const ALL: [Method; 6] = [
+        Method::ArchExplorer,
+        Method::Random,
+        Method::AdaBoost,
+        Method::ArchRanker,
+        Method::BoomExplorer,
+        Method::Calipers,
+    ];
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Method::ArchExplorer => "ArchExplorer",
+            Method::Random => "Random",
+            Method::AdaBoost => "AdaBoost",
+            Method::ArchRanker => "ArchRanker",
+            Method::BoomExplorer => "BOOM-Explorer",
+            Method::Calipers => "Calipers",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Campaign configuration shared by all methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    /// Simulation budget per method.
+    pub sim_budget: u64,
+    /// Instructions simulated per workload during DSE (the paper's 100 K
+    /// analysis window, scaled to taste).
+    pub instrs_per_workload: usize,
+    /// Search seed (also the trace seed unless `trace_seed` is set).
+    pub seed: u64,
+    /// Fixes the workload-trace seed independently of the search seed —
+    /// seed sweeps use this so their error bars measure search variance,
+    /// not workload variance.
+    pub trace_seed: Option<u64>,
+    /// Worker threads per evaluator.
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            sim_budget: 240,
+            instrs_per_workload: 10_000,
+            seed: 1,
+            trace_seed: None,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+        }
+    }
+}
+
+/// Runs one method on a fresh evaluator over the given suite.
+pub fn run_method(
+    method: Method,
+    space: &DesignSpace,
+    suite: &[Workload],
+    cfg: &CampaignConfig,
+) -> RunLog {
+    let evaluator = Evaluator::new(
+        suite.to_vec(),
+        cfg.instrs_per_workload,
+        cfg.trace_seed.unwrap_or(cfg.seed),
+    )
+    .with_threads(cfg.threads);
+    let ax_opts = ArchExplorerOptions {
+        seed: cfg.seed,
+        ..ArchExplorerOptions::default()
+    };
+    match method {
+        Method::ArchExplorer => run_archexplorer(space, &evaluator, cfg.sim_budget, &ax_opts),
+        Method::Random => run_random_search(space, &evaluator, cfg.sim_budget, cfg.seed),
+        Method::AdaBoost => run_adaboost(
+            space,
+            &evaluator,
+            cfg.sim_budget,
+            cfg.seed,
+            &AdaBoostOptions::default(),
+        ),
+        Method::ArchRanker => run_archranker(
+            space,
+            &evaluator,
+            cfg.sim_budget,
+            cfg.seed,
+            &RankerOptions::default(),
+        ),
+        Method::BoomExplorer => run_boom_explorer(
+            space,
+            &evaluator,
+            cfg.sim_budget,
+            cfg.seed,
+            &BoomOptions::default(),
+        ),
+        Method::Calipers => run_calipers_dse(space, &evaluator, cfg.sim_budget, &ax_opts),
+    }
+}
+
+/// Result of a full campaign: one log per method.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Campaign {
+    /// Per-method run logs.
+    pub logs: Vec<RunLog>,
+}
+
+impl Campaign {
+    /// Runs `methods` sequentially with identical configuration.
+    pub fn run(
+        methods: &[Method],
+        space: &DesignSpace,
+        suite: &[Workload],
+        cfg: &CampaignConfig,
+    ) -> Self {
+        Campaign {
+            logs: methods
+                .iter()
+                .map(|&m| run_method(m, space, suite, cfg))
+                .collect(),
+        }
+    }
+
+    /// Hypervolume curves per method, sampled every `step` simulations.
+    pub fn curves(&self, r: &RefPoint, step: u64) -> Vec<(String, Vec<(u64, f64)>)> {
+        self.logs
+            .iter()
+            .map(|log| (log.method.clone(), log.hypervolume_curve(r, step)))
+            .collect()
+    }
+
+    /// Simulations a method needed to first reach hypervolume `target`.
+    pub fn sims_to_reach(&self, method: &str, r: &RefPoint, target: f64, step: u64) -> Option<u64> {
+        let log = self.logs.iter().find(|l| l.method == method)?;
+        log.hypervolume_curve(r, step)
+            .into_iter()
+            .find(|&(_, hv)| hv >= target)
+            .map(|(sims, _)| sims)
+    }
+
+    /// Hypervolume a method attained within `budget` simulations.
+    pub fn hv_at(&self, method: &str, r: &RefPoint, budget: u64) -> Option<f64> {
+        let log = self.logs.iter().find(|l| l.method == method)?;
+        let pts: Vec<_> = log
+            .records
+            .iter()
+            .take_while(|rec| rec.sims_after <= budget)
+            .map(|rec| rec.ppa)
+            .collect();
+        Some(crate::pareto::hypervolume(&pts, r))
+    }
+}
+
+/// Mean ± standard deviation of one method's hypervolume curve over
+/// several seeds (the paper's curves are single runs; seed sweeps add the
+/// error bars reviewers ask for).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepCurve {
+    /// Method label.
+    pub method: String,
+    /// Per budget point: `(simulations, mean hypervolume, std deviation)`.
+    pub points: Vec<(u64, f64, f64)>,
+}
+
+/// Runs `methods` across `seeds` (fresh evaluator per run) and aggregates
+/// each method's hypervolume-versus-simulations curve.
+///
+/// # Panics
+///
+/// Panics when `seeds` is empty or `step` is zero.
+pub fn sweep(
+    methods: &[Method],
+    space: &DesignSpace,
+    suite: &[Workload],
+    cfg: &CampaignConfig,
+    seeds: &[u64],
+    r: &RefPoint,
+    step: u64,
+) -> Vec<SweepCurve> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    assert!(step > 0, "step must be positive");
+    let mut out = Vec::with_capacity(methods.len());
+    for &method in methods {
+        // curves[seed][budget_idx]
+        let curves: Vec<Vec<(u64, f64)>> = seeds
+            .iter()
+            .map(|&seed| {
+                let run_cfg = CampaignConfig {
+                    seed,
+                    trace_seed: Some(cfg.trace_seed.unwrap_or(cfg.seed)),
+                    ..cfg.clone()
+                };
+                run_method(method, space, suite, &run_cfg).hypervolume_curve(r, step)
+            })
+            .collect();
+        let len = curves.iter().map(Vec::len).min().unwrap_or(0);
+        let mut points = Vec::with_capacity(len);
+        for i in 0..len {
+            let sims = curves[0][i].0;
+            let vals: Vec<f64> = curves.iter().map(|c| c[i].1).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / vals.len() as f64;
+            points.push((sims, mean, var.sqrt()));
+        }
+        out.push(SweepCurve {
+            method: method.to_string(),
+            points,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archx_workloads::spec06_suite;
+
+    #[test]
+    fn tiny_campaign_runs_all_methods() {
+        let suite: Vec<_> = spec06_suite().into_iter().take(2).collect();
+        let cfg = CampaignConfig {
+            sim_budget: 16,
+            instrs_per_workload: 800,
+            seed: 3,
+            trace_seed: None,
+            threads: 1,
+        };
+        let space = DesignSpace::table4();
+        let campaign = Campaign::run(&Method::ALL, &space, &suite, &cfg);
+        assert_eq!(campaign.logs.len(), Method::ALL.len());
+        for log in &campaign.logs {
+            assert!(!log.records.is_empty(), "{} produced no records", log.method);
+        }
+        let curves = campaign.curves(&RefPoint::default(), 8);
+        assert_eq!(curves.len(), Method::ALL.len());
+        let hv = campaign.hv_at("Random", &RefPoint::default(), 16);
+        assert!(hv.is_some());
+    }
+
+    #[test]
+    fn sweep_aggregates_across_seeds() {
+        let suite: Vec<_> = spec06_suite().into_iter().take(2).collect();
+        let cfg = CampaignConfig {
+            sim_budget: 12,
+            instrs_per_workload: 600,
+            seed: 0,
+            trace_seed: None,
+            threads: 1,
+        };
+        let curves = sweep(
+            &[Method::Random],
+            &DesignSpace::table4(),
+            &suite,
+            &cfg,
+            &[1, 2, 3],
+            &RefPoint::default(),
+            4,
+        );
+        assert_eq!(curves.len(), 1);
+        let c = &curves[0];
+        assert!(!c.points.is_empty());
+        for &(_, mean, std) in &c.points {
+            assert!(mean >= 0.0 && std >= 0.0);
+        }
+        // Different seeds explore different designs: some variance exists
+        // at the first budget point with overwhelming probability.
+        assert!(c.points.iter().any(|&(_, _, std)| std > 0.0));
+    }
+}

@@ -1,0 +1,353 @@
+//! Design evaluation: simulate a workload suite, model power/area, and
+//! (for bottleneck-driven explorers) produce the merged bottleneck report.
+//!
+//! Mirrors the paper's methodology: DSE-time analysis uses a bounded
+//! instruction window per workload (the paper uses the first 100 K
+//! instructions of each Simpoint), every workload simulation counts as one
+//! simulation toward the budget, and results are cached per design.
+
+use crate::pareto::ExplorationSet;
+use archx_deg::{build_deg, critical, induce, merge_reports, BottleneckReport};
+use archx_power::{PowerModel, PpaResult};
+use archx_sim::isa::Instruction;
+use archx_sim::{MicroArch, OooCore};
+use archx_workloads::Workload;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which bottleneck analysis to run alongside the simulations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Analysis {
+    /// Simulation only.
+    None,
+    /// The paper's new DEG formulation (induced DEG + Algorithm 1).
+    NewDeg,
+    /// The prior static formulation (Calipers baseline).
+    Calipers,
+}
+
+/// Evaluation of one design over the whole suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignEval {
+    /// Suite-average PPA (arithmetic mean of IPC and power; area is
+    /// workload independent).
+    pub ppa: PpaResult,
+    /// Per-workload PPA, aligned with the evaluator's workload list.
+    pub per_workload: Vec<PpaResult>,
+    /// Weighted bottleneck report (Eq. 2), present when analysis was
+    /// requested.
+    pub report: Option<BottleneckReport>,
+    /// Which analysis produced `report`.
+    pub analysis: Analysis,
+}
+
+/// Shared evaluator with a design cache and a simulation budget counter.
+pub struct Evaluator {
+    workloads: Vec<Workload>,
+    traces: Vec<Vec<Instruction>>,
+    power: PowerModel,
+    threads: usize,
+    sims: AtomicU64,
+    cache: Mutex<HashMap<MicroArch, DesignEval>>,
+}
+
+impl std::fmt::Debug for Evaluator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Evaluator")
+            .field("workloads", &self.workloads.len())
+            .field("instrs", &self.traces.first().map_or(0, Vec::len))
+            .field("sims", &self.sim_count())
+            .finish()
+    }
+}
+
+impl Evaluator {
+    /// Builds an evaluator over `workloads`, synthesising
+    /// `instrs_per_workload` instructions per trace with the given seed.
+    pub fn new(workloads: Vec<Workload>, instrs_per_workload: usize, seed: u64) -> Self {
+        let traces = workloads
+            .iter()
+            .map(|w| w.generate(instrs_per_workload, seed))
+            .collect();
+        Evaluator {
+            workloads,
+            traces,
+            power: PowerModel::default(),
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+            sims: AtomicU64::new(0),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Restricts worker threads (1 = fully serial, deterministic ordering
+    /// is preserved either way).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The workload suite.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// Simulations performed so far (one per workload per uncached design).
+    pub fn sim_count(&self) -> u64 {
+        self.sims.load(Ordering::Relaxed)
+    }
+
+    /// Evaluates a design; `analyze` additionally builds the induced DEG
+    /// and bottleneck report per workload and merges them (Eq. 2).
+    ///
+    /// Cached: re-evaluating a design costs no simulations. A cached
+    /// design evaluated without a report will be re-simulated if a report
+    /// is later requested (counting simulations again, as the paper's
+    /// trace-dumping runs would).
+    pub fn evaluate(&self, arch: &MicroArch, analyze: bool) -> DesignEval {
+        self.evaluate_with(arch, if analyze { Analysis::NewDeg } else { Analysis::None })
+    }
+
+    /// Evaluates a design with an explicit analysis backend.
+    pub fn evaluate_with(&self, arch: &MicroArch, analysis: Analysis) -> DesignEval {
+        if let Some(hit) = self.cache.lock().get(arch) {
+            if analysis == Analysis::None || hit.analysis == analysis {
+                return hit.clone();
+            }
+        }
+        let eval = self.evaluate_uncached(arch, analysis);
+        self.cache.lock().insert(*arch, eval.clone());
+        eval
+    }
+
+    fn evaluate_uncached(&self, arch: &MicroArch, analysis: Analysis) -> DesignEval {
+        let n = self.workloads.len();
+        let mut per_workload = vec![
+            PpaResult {
+                ipc: 0.0,
+                power_w: 0.0,
+                area_mm2: 0.0
+            };
+            n
+        ];
+        let mut reports: Vec<Option<BottleneckReport>> = vec![None; n];
+
+        let run_one = |i: usize| -> (PpaResult, Option<BottleneckReport>) {
+            let result = OooCore::new(*arch).run(&self.traces[i]);
+            let ppa = self.power.evaluate(arch, &result.stats);
+            let report = match analysis {
+                Analysis::None => None,
+                Analysis::NewDeg => {
+                    let mut deg = induce(build_deg(&result));
+                    let path = critical::critical_path_mut(&mut deg);
+                    Some(archx_deg::bottleneck::analyze(&deg, &path))
+                }
+                Analysis::Calipers => {
+                    Some(archx_deg::CalipersModel::from_arch(arch).analyze(&result).1)
+                }
+            };
+            (ppa, report)
+        };
+
+        if self.threads <= 1 || n <= 1 {
+            for i in 0..n {
+                let (ppa, rep) = run_one(i);
+                per_workload[i] = ppa;
+                reports[i] = rep;
+            }
+        } else {
+            let next = AtomicU64::new(0);
+            let results: Mutex<Vec<(usize, PpaResult, Option<BottleneckReport>)>> =
+                Mutex::new(Vec::with_capacity(n));
+            crossbeam::scope(|s| {
+                for _ in 0..self.threads.min(n) {
+                    s.spawn(|_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                        if i >= n {
+                            break;
+                        }
+                        let (ppa, rep) = run_one(i);
+                        results.lock().push((i, ppa, rep));
+                    });
+                }
+            })
+            .expect("worker panicked");
+            for (i, ppa, rep) in results.into_inner() {
+                per_workload[i] = ppa;
+                reports[i] = rep;
+            }
+        }
+
+        self.sims.fetch_add(n as u64, Ordering::Relaxed);
+
+        let ipc = per_workload.iter().map(|p| p.ipc).sum::<f64>() / n as f64;
+        let power = per_workload.iter().map(|p| p.power_w).sum::<f64>() / n as f64;
+        let area = per_workload[0].area_mm2;
+        let report = if analysis != Analysis::None {
+            let reps: Vec<BottleneckReport> =
+                reports.into_iter().map(|r| r.expect("analysis requested")).collect();
+            let weights: Vec<f64> = self.workloads.iter().map(|w| w.weight).collect();
+            Some(merge_reports(&reps, &weights))
+        } else {
+            None
+        };
+        DesignEval {
+            ppa: PpaResult {
+                ipc,
+                power_w: power,
+                area_mm2: area,
+            },
+            per_workload,
+            report,
+            analysis,
+        }
+    }
+}
+
+/// One evaluated design within an exploration run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalRecord {
+    /// The design.
+    pub arch: MicroArch,
+    /// Suite-average PPA.
+    pub ppa: PpaResult,
+    /// Cumulative simulation count after this evaluation.
+    pub sims_after: u64,
+}
+
+/// Log of an exploration run: every design in evaluation order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunLog {
+    /// Method label.
+    pub method: String,
+    /// Records in evaluation order.
+    pub records: Vec<EvalRecord>,
+}
+
+impl RunLog {
+    /// Empty log for a method.
+    pub fn new(method: impl Into<String>) -> Self {
+        RunLog {
+            method: method.into(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, arch: MicroArch, ppa: PpaResult, sims_after: u64) {
+        self.records.push(EvalRecord {
+            arch,
+            ppa,
+            sims_after,
+        });
+    }
+
+    /// Hypervolume as a function of cumulative simulations, sampled at
+    /// each multiple of `step`.
+    pub fn hypervolume_curve(
+        &self,
+        r: &crate::pareto::RefPoint,
+        step: u64,
+    ) -> Vec<(u64, f64)> {
+        assert!(step > 0, "step must be positive");
+        let mut curve = Vec::new();
+        let max_sims = self.records.last().map_or(0, |r| r.sims_after);
+        let mut set = ExplorationSet::new();
+        let mut it = self.records.iter().peekable();
+        let mut budget = step;
+        while budget <= max_sims {
+            while let Some(rec) = it.peek() {
+                if rec.sims_after <= budget {
+                    set.push(rec.ppa);
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            curve.push((budget, set.hypervolume(r)));
+            budget += step;
+        }
+        curve
+    }
+
+    /// Pareto frontier over all records: `(arch, ppa)` pairs.
+    pub fn frontier(&self) -> Vec<(MicroArch, PpaResult)> {
+        let pts: Vec<PpaResult> = self.records.iter().map(|r| r.ppa).collect();
+        crate::pareto::pareto_front(&pts)
+            .into_iter()
+            .map(|i| (self.records[i].arch, self.records[i].ppa))
+            .collect()
+    }
+
+    /// Best design by the paper's PPA trade-off metric.
+    pub fn best_tradeoff(&self) -> Option<&EvalRecord> {
+        self.records.iter().max_by(|a, b| {
+            a.ppa
+                .tradeoff()
+                .partial_cmp(&b.ppa.tradeoff())
+                .expect("finite tradeoff")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archx_workloads::spec06_suite;
+
+    fn small_eval() -> Evaluator {
+        let suite: Vec<Workload> = spec06_suite().into_iter().take(2).collect();
+        Evaluator::new(suite, 2_000, 1).with_threads(1)
+    }
+
+    #[test]
+    fn evaluation_counts_sims_and_caches() {
+        let ev = small_eval();
+        let arch = MicroArch::baseline();
+        let e1 = ev.evaluate(&arch, false);
+        assert_eq!(ev.sim_count(), 2);
+        let e2 = ev.evaluate(&arch, false);
+        assert_eq!(ev.sim_count(), 2, "cache hit must not count");
+        assert_eq!(e1, e2);
+        assert!(e1.ppa.ipc > 0.0);
+        assert_eq!(e1.per_workload.len(), 2);
+    }
+
+    #[test]
+    fn analysis_produces_merged_report() {
+        let ev = small_eval();
+        let e = ev.evaluate(&MicroArch::tiny(), true);
+        let rep = e.report.expect("requested analysis");
+        assert!(rep.total() > 0.5);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let suite: Vec<Workload> = spec06_suite().into_iter().take(3).collect();
+        let serial = Evaluator::new(suite.clone(), 2_000, 1).with_threads(1);
+        let parallel = Evaluator::new(suite, 2_000, 1).with_threads(3);
+        let a = serial.evaluate(&MicroArch::baseline(), true);
+        let b = parallel.evaluate(&MicroArch::baseline(), true);
+        assert_eq!(a, b, "thread count must not change results");
+    }
+
+    #[test]
+    fn runlog_curve_is_monotone() {
+        let mut log = RunLog::new("test");
+        let mk = |ipc: f64| PpaResult {
+            ipc,
+            power_w: 0.2,
+            area_mm2: 5.0,
+        };
+        log.push(MicroArch::baseline(), mk(0.5), 2);
+        log.push(MicroArch::baseline(), mk(1.0), 4);
+        log.push(MicroArch::baseline(), mk(0.8), 6);
+        let curve = log.hypervolume_curve(&crate::pareto::RefPoint::default(), 2);
+        assert_eq!(curve.len(), 3);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "hypervolume must be non-decreasing");
+        }
+        assert!((log.best_tradeoff().unwrap().ppa.ipc - 1.0).abs() < 1e-12);
+    }
+}

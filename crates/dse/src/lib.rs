@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! # archx-dse — design-space exploration
+//!
+//! The search layer of the ArchExplorer reproduction:
+//!
+//! * [`space`] — the Table 4 design space (22 parameters, ~9 × 10¹⁴
+//!   designs): candidate lattices, random sampling, next-larger /
+//!   next-smaller moves, normalised features, mixed-radix indexing;
+//! * [`eval`] — the shared design evaluator: workload-suite simulation,
+//!   McPAT-lite power/area, design cache, simulation budget accounting,
+//!   bottleneck analysis backends, and run logs;
+//! * [`pareto`] — dominance, frontier maintenance, and exact 3-D Pareto
+//!   hypervolume (Eq. 3);
+//! * [`reassign`] + [`archexplorer`] — the bottleneck-removal-driven
+//!   search of Section 4.3, with the cache/branch-predictor freeze rule,
+//!   plateau early-stopping and restarts;
+//! * [`baselines`] — random search, AdaBoost.RT, ArchRanker-style pairwise
+//!   ranking, BOOM-Explorer-style GP Bayesian optimisation, and the
+//!   Calipers-guided variant;
+//! * [`ml`] — the self-contained surrogate toolkit (Cholesky, GP,
+//!   regression trees, boosting, ranking);
+//! * [`campaign`] — method-versus-method comparisons producing the
+//!   hypervolume-versus-simulations curves of Figure 12 / Table 5.
+//!
+//! ```no_run
+//! use archx_dse::prelude::*;
+//! use archx_workloads::spec06_suite;
+//!
+//! let space = DesignSpace::table4();
+//! let cfg = CampaignConfig { sim_budget: 120, ..Default::default() };
+//! let log = run_method(Method::ArchExplorer, &space, &spec06_suite(), &cfg);
+//! println!("explored {} designs", log.records.len());
+//! ```
+
+pub mod archexplorer;
+pub mod baselines;
+pub mod campaign;
+pub mod eval;
+pub mod ml;
+pub mod pareto;
+pub mod reassign;
+pub mod space;
+
+/// Convenient re-exports of the main entry points.
+pub mod prelude {
+    pub use crate::archexplorer::{run_archexplorer, ArchExplorerOptions};
+    pub use crate::campaign::{run_method, Campaign, CampaignConfig, Method};
+    pub use crate::eval::{Analysis, DesignEval, EvalRecord, Evaluator, RunLog};
+    pub use crate::pareto::{dominates, hypervolume, pareto_front, ExplorationSet, RefPoint};
+    pub use crate::space::{DesignSpace, ParamId};
+}
+
+pub use archexplorer::{run_archexplorer, ArchExplorerOptions};
+pub use campaign::{run_method, Campaign, CampaignConfig, Method};
+pub use eval::{Analysis, DesignEval, Evaluator, RunLog};
+pub use pareto::{hypervolume, pareto_front, ExplorationSet, RefPoint};
+pub use space::{DesignSpace, ParamId};

@@ -1,0 +1,187 @@
+//! Boosting ensembles: AdaBoost.RT for regression (the AdaBoost baseline)
+//! and a RankBoost-style pairwise ranker (the ArchRanker baseline).
+
+use crate::ml::tree::RegressionTree;
+
+/// AdaBoost.RT: boosted regression trees with relative-error thresholding
+/// (Solomatine & Shrestha), as used by the paper's AdaBoost baseline.
+#[derive(Debug, Clone)]
+pub struct AdaBoostRt {
+    trees: Vec<(f64, RegressionTree)>,
+}
+
+impl AdaBoostRt {
+    /// Fits `rounds` weak trees of depth `depth`; `phi` is the relative
+    /// error threshold separating "correct" from "incorrect" predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or mismatched inputs.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], rounds: usize, depth: usize, phi: f64) -> Self {
+        assert!(!x.is_empty() && x.len() == y.len(), "bad training set");
+        let n = x.len();
+        let mut w = vec![1.0 / n as f64; n];
+        let mut trees = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let tree = RegressionTree::fit(x, y, &w, depth);
+            // Relative error per sample.
+            let scale = y.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-9);
+            let errs: Vec<f64> = x
+                .iter()
+                .zip(y)
+                .map(|(xi, yi)| (tree.predict(xi) - yi).abs() / scale)
+                .collect();
+            let eps: f64 = w
+                .iter()
+                .zip(&errs)
+                .filter(|(_, &e)| e > phi)
+                .map(|(wi, _)| wi)
+                .sum();
+            let eps = eps.clamp(1e-9, 1.0 - 1e-9);
+            let beta = (eps / (1.0 - eps)).powi(2);
+            let alpha = (1.0 / beta).ln();
+            // Reweight: down-weight correctly predicted samples.
+            for (wi, &e) in w.iter_mut().zip(&errs) {
+                if e <= phi {
+                    *wi *= beta;
+                }
+            }
+            let ws: f64 = w.iter().sum();
+            for wi in &mut w {
+                *wi /= ws;
+            }
+            trees.push((alpha, tree));
+            if eps < 1e-6 {
+                break;
+            }
+        }
+        AdaBoostRt { trees }
+    }
+
+    /// Weighted-median-style prediction (weighted mean of the ensemble).
+    pub fn predict(&self, q: &[f64]) -> f64 {
+        let ws: f64 = self.trees.iter().map(|(a, _)| *a).sum();
+        if ws <= 0.0 {
+            return self
+                .trees
+                .first()
+                .map_or(0.0, |(_, t)| t.predict(q));
+        }
+        self.trees.iter().map(|(a, t)| a * t.predict(q)).sum::<f64>() / ws
+    }
+}
+
+/// Pairwise ranker in the spirit of ArchRanker: learns `score(a) >
+/// score(b)` from comparisons, implemented as boosted regression trees on
+/// feature differences.
+#[derive(Debug, Clone)]
+pub struct RankBoost {
+    model: AdaBoostRt,
+}
+
+impl RankBoost {
+    /// Fits from preference pairs `(better, worse)` of feature vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no pairs are given.
+    pub fn fit(pairs: &[(Vec<f64>, Vec<f64>)], rounds: usize) -> Self {
+        assert!(!pairs.is_empty(), "no preference pairs");
+        let mut x = Vec::with_capacity(2 * pairs.len());
+        let mut y = Vec::with_capacity(2 * pairs.len());
+        for (better, worse) in pairs {
+            let diff: Vec<f64> = better.iter().zip(worse).map(|(a, b)| a - b).collect();
+            let neg: Vec<f64> = diff.iter().map(|d| -d).collect();
+            x.push(diff);
+            y.push(1.0);
+            x.push(neg);
+            y.push(-1.0);
+        }
+        RankBoost {
+            model: AdaBoostRt::fit(&x, &y, rounds, 2, 0.5),
+        }
+    }
+
+    /// Positive when `a` is predicted to beat `b`.
+    pub fn compare(&self, a: &[f64], b: &[f64]) -> f64 {
+        let diff: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+        self.model.predict(&diff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archx_sim::trace_gen::XorShift;
+
+    fn noisy_quadratic(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = XorShift::new(seed);
+        let x: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.unit(), rng.unit()]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| v[0] * v[0] + 0.5 * v[1] + 0.02 * (rng.unit() - 0.5))
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn boosting_beats_a_single_stump() {
+        let (x, y) = noisy_quadratic(200, 1);
+        let stump = RegressionTree::fit(&x, &y, &vec![1.0 / 200.0; 200], 1);
+        let boosted = AdaBoostRt::fit(&x, &y, 30, 2, 0.05);
+        let (xt, yt) = noisy_quadratic(100, 2);
+        let mse = |f: &dyn Fn(&[f64]) -> f64| {
+            xt.iter()
+                .zip(&yt)
+                .map(|(xi, yi)| (f(xi) - yi).powi(2))
+                .sum::<f64>()
+                / xt.len() as f64
+        };
+        let mse_stump = mse(&|q| stump.predict(q));
+        let mse_boost = mse(&|q| boosted.predict(q));
+        assert!(
+            mse_boost < mse_stump,
+            "boosting {mse_boost} must beat one stump {mse_stump}"
+        );
+    }
+
+    #[test]
+    fn ranker_orders_a_monotone_function() {
+        let mut rng = XorShift::new(3);
+        let pairs: Vec<(Vec<f64>, Vec<f64>)> = (0..150)
+            .map(|_| {
+                let a = vec![rng.unit(), rng.unit()];
+                let b = vec![rng.unit(), rng.unit()];
+                // Ground-truth score: 2*x0 + x1.
+                if 2.0 * a[0] + a[1] > 2.0 * b[0] + b[1] {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            })
+            .collect();
+        let ranker = RankBoost::fit(&pairs, 25);
+        let mut correct = 0;
+        let mut total = 0;
+        for _ in 0..200 {
+            let a = vec![rng.unit(), rng.unit()];
+            let b = vec![rng.unit(), rng.unit()];
+            let truth = 2.0 * a[0] + a[1] > 2.0 * b[0] + b[1];
+            let pred = ranker.compare(&a, &b) > 0.0;
+            if truth == pred {
+                correct += 1;
+            }
+            total += 1;
+        }
+        assert!(
+            correct as f64 / total as f64 > 0.7,
+            "ranking accuracy {correct}/{total} too low"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no preference pairs")]
+    fn empty_pairs_panic() {
+        let _ = RankBoost::fit(&[], 5);
+    }
+}

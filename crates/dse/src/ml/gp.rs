@@ -1,0 +1,178 @@
+//! Gaussian-process regression with an RBF kernel (the surrogate behind
+//! the BOOM-Explorer-style baseline).
+
+use crate::ml::linalg::{cholesky, cholesky_solve, solve_lower};
+
+/// A fitted Gaussian process over fixed-dimension feature vectors.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    x: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: Vec<f64>,
+    n: usize,
+    lengthscale: f64,
+    signal: f64,
+    noise: f64,
+    y_mean: f64,
+}
+
+impl GaussianProcess {
+    /// Fits a GP with an RBF kernel to `(x, y)`.
+    ///
+    /// The lengthscale is set by the median heuristic over pairwise
+    /// distances; signal variance is the (centred) label variance.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` and `y` lengths differ or the training set is empty.
+    pub fn fit(x: Vec<Vec<f64>>, y: &[f64], noise: f64) -> Self {
+        assert_eq!(x.len(), y.len(), "one label per sample");
+        assert!(!x.is_empty(), "empty training set");
+        let n = x.len();
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+        let signal = (yc.iter().map(|v| v * v).sum::<f64>() / n as f64).max(1e-8);
+
+        // Median pairwise distance (sampled when n is large).
+        let mut dists = Vec::new();
+        let stride = (n / 64).max(1);
+        for i in (0..n).step_by(stride) {
+            for j in (i + 1..n).step_by(stride) {
+                dists.push(sq_dist(&x[i], &x[j]).sqrt());
+            }
+        }
+        dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        let lengthscale = dists
+            .get(dists.len() / 2)
+            .copied()
+            .filter(|&d| d > 1e-9)
+            .unwrap_or(1.0);
+
+        let mut k = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                k[i * n + j] = rbf(&x[i], &x[j], lengthscale, signal);
+            }
+            k[i * n + i] += noise.max(1e-9);
+        }
+        let chol = cholesky(&k, n).expect("kernel matrix is SPD with jitter");
+        let alpha = cholesky_solve(&chol, n, &yc);
+        GaussianProcess {
+            x,
+            alpha,
+            chol,
+            n,
+            lengthscale,
+            signal,
+            noise,
+            y_mean,
+        }
+    }
+
+    /// Posterior mean and variance at `q`.
+    pub fn predict(&self, q: &[f64]) -> (f64, f64) {
+        let ks: Vec<f64> = self
+            .x
+            .iter()
+            .map(|xi| rbf(xi, q, self.lengthscale, self.signal))
+            .collect();
+        let mean = self.y_mean + ks.iter().zip(&self.alpha).map(|(a, b)| a * b).sum::<f64>();
+        let v = solve_lower(&self.chol, self.n, &ks);
+        let kqq = self.signal + self.noise;
+        let var = (kqq - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12);
+        (mean, var)
+    }
+
+    /// Expected improvement of maximising beyond `best`.
+    pub fn expected_improvement(&self, q: &[f64], best: f64) -> f64 {
+        let (mu, var) = self.predict(q);
+        let sigma = var.sqrt();
+        if sigma < 1e-12 {
+            return (mu - best).max(0.0);
+        }
+        let z = (mu - best) / sigma;
+        (mu - best) * phi(z) + sigma * pdf(z)
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn rbf(a: &[f64], b: &[f64], lengthscale: f64, signal: f64) -> f64 {
+    signal * (-0.5 * sq_dist(a, b) / (lengthscale * lengthscale)).exp()
+}
+
+/// Standard normal PDF.
+fn pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF (Abramowitz–Stegun style erf approximation).
+fn phi(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    // Abramowitz & Stegun 7.1.26, |error| < 1.5e-7.
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_training_points() {
+        let x: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 8.0]).collect();
+        let y: Vec<f64> = x.iter().map(|v| (4.0 * v[0]).sin()).collect();
+        let gp = GaussianProcess::fit(x.clone(), &y, 1e-6);
+        for (xi, yi) in x.iter().zip(&y) {
+            let (mu, var) = gp.predict(xi);
+            assert!((mu - yi).abs() < 0.05, "mu {mu} vs {yi}");
+            assert!(var < 0.1);
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let x: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64 * 0.1]).collect();
+        let y = vec![0.0, 0.1, 0.2, 0.1, 0.0];
+        let gp = GaussianProcess::fit(x, &y, 1e-6);
+        let (_, var_near) = gp.predict(&[0.2]);
+        let (_, var_far) = gp.predict(&[5.0]);
+        assert!(var_far > var_near * 10.0);
+    }
+
+    #[test]
+    fn ei_positive_in_promising_regions() {
+        let x: Vec<Vec<f64>> = vec![vec![0.0], vec![1.0]];
+        let y = vec![0.0, 1.0];
+        let gp = GaussianProcess::fit(x, &y, 1e-4);
+        let ei_far = gp.expected_improvement(&[3.0], 1.0);
+        assert!(ei_far > 0.0, "uncertain regions must have positive EI");
+        let ei_known_bad = gp.expected_improvement(&[0.0], 1.0);
+        assert!(ei_far > ei_known_bad);
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        assert!((erf(0.0)).abs() < 1e-9);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per sample")]
+    fn mismatched_inputs_panic() {
+        let _ = GaussianProcess::fit(vec![vec![0.0]], &[1.0, 2.0], 1e-6);
+    }
+}

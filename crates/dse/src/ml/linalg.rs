@@ -1,0 +1,102 @@
+//! Dense symmetric positive-definite linear algebra (Cholesky).
+
+/// Cholesky factorisation of a symmetric positive-definite matrix stored
+/// row-major: returns lower-triangular `L` with `A = L Lᵀ`.
+///
+/// # Errors
+///
+/// Returns `Err` when the matrix is not positive definite.
+pub fn cholesky(a: &[f64], n: usize) -> Result<Vec<f64>, &'static str> {
+    assert_eq!(a.len(), n * n, "matrix shape mismatch");
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err("matrix not positive definite");
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `L y = b` (forward substitution) for lower-triangular `L`.
+pub fn solve_lower(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    y
+}
+
+/// Solves `Lᵀ x = y` (backward substitution) for lower-triangular `L`.
+pub fn solve_lower_transpose(l: &[f64], n: usize, y: &[f64]) -> Vec<f64> {
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    x
+}
+
+/// Solves `A x = b` given the Cholesky factor `L` of `A`.
+pub fn cholesky_solve(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    let y = solve_lower(l, n, b);
+    solve_lower_transpose(l, n, &y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_and_solve_small_system() {
+        // A = [[4,2],[2,3]] (SPD)
+        let a = vec![4.0, 2.0, 2.0, 3.0];
+        let l = cholesky(&a, 2).unwrap();
+        // L = [[2,0],[1,sqrt(2)]]
+        assert!((l[0] - 2.0).abs() < 1e-12);
+        assert!((l[2] - 1.0).abs() < 1e-12);
+        assert!((l[3] - 2.0f64.sqrt()).abs() < 1e-12);
+        let x = cholesky_solve(&l, 2, &[2.0, 1.0]);
+        // Check A x = b
+        assert!((4.0 * x[0] + 2.0 * x[1] - 2.0).abs() < 1e-10);
+        assert!((2.0 * x[0] + 3.0 * x[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = vec![1.0, 2.0, 2.0, 1.0]; // indefinite
+        assert!(cholesky(&a, 2).is_err());
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let n = 5;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        let l = cholesky(&a, n).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let x = cholesky_solve(&l, n, &b);
+        for i in 0..n {
+            assert!((x[i] - b[i]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Minimal machine-learning toolkit for the black-box DSE baselines:
+//! dense Cholesky linear algebra, Gaussian-process regression
+//! (BOOM-Explorer), and boosted regression trees (AdaBoost.RT) / pairwise
+//! ranking (ArchRanker).
+
+pub mod boost;
+pub mod gp;
+pub mod linalg;
+pub mod tree;
+
+pub use boost::{AdaBoostRt, RankBoost};
+pub use gp::GaussianProcess;
+pub use tree::RegressionTree;

@@ -1,0 +1,181 @@
+//! Depth-bounded regression trees (the weak learners of AdaBoost.RT and
+//! the pairwise ranker).
+
+/// A binary regression tree of bounded depth with axis-aligned splits.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+impl RegressionTree {
+    /// Fits a tree of `max_depth` to weighted samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or mismatched lengths.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], w: &[f64], max_depth: usize) -> Self {
+        assert!(!x.is_empty(), "empty training set");
+        assert!(x.len() == y.len() && y.len() == w.len(), "length mismatch");
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let mut nodes = Vec::new();
+        build(x, y, w, &idx, max_depth, &mut nodes);
+        RegressionTree { nodes }
+    }
+
+    /// Predicts one sample.
+    pub fn predict(&self, q: &[f64]) -> f64 {
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if q[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+fn weighted_mean(y: &[f64], w: &[f64], idx: &[usize]) -> f64 {
+    let ws: f64 = idx.iter().map(|&i| w[i]).sum();
+    if ws <= 0.0 {
+        return 0.0;
+    }
+    idx.iter().map(|&i| w[i] * y[i]).sum::<f64>() / ws
+}
+
+fn weighted_sse(y: &[f64], w: &[f64], idx: &[usize], mean: f64) -> f64 {
+    idx.iter().map(|&i| w[i] * (y[i] - mean) * (y[i] - mean)).sum()
+}
+
+/// Builds a subtree over `idx`, returning its node index.
+fn build(
+    x: &[Vec<f64>],
+    y: &[f64],
+    w: &[f64],
+    idx: &[usize],
+    depth: usize,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let mean = weighted_mean(y, w, idx);
+    let sse = weighted_sse(y, w, idx, mean);
+    if depth == 0 || idx.len() < 4 || sse < 1e-12 {
+        nodes.push(Node::Leaf { value: mean });
+        return nodes.len() - 1;
+    }
+    // Best axis-aligned split by weighted SSE reduction; candidate
+    // thresholds at quartiles of each feature to keep fitting cheap.
+    let dims = x[0].len();
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+    for f in 0..dims {
+        let mut vals: Vec<f64> = idx.iter().map(|&i| x[i][f]).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+        vals.dedup();
+        if vals.len() < 2 {
+            continue;
+        }
+        for q in 1..4 {
+            let t = vals[(vals.len() * q / 4).min(vals.len() - 2)];
+            let (l, r): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| x[i][f] <= t);
+            if l.is_empty() || r.is_empty() {
+                continue;
+            }
+            let lm = weighted_mean(y, w, &l);
+            let rm = weighted_mean(y, w, &r);
+            let s = weighted_sse(y, w, &l, lm) + weighted_sse(y, w, &r, rm);
+            if best.as_ref().is_none_or(|b| s < b.2) {
+                best = Some((f, t, s));
+            }
+        }
+    }
+    let Some((feature, threshold, split_sse)) = best else {
+        nodes.push(Node::Leaf { value: mean });
+        return nodes.len() - 1;
+    };
+    if split_sse >= sse {
+        nodes.push(Node::Leaf { value: mean });
+        return nodes.len() - 1;
+    }
+    let (l, r): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| x[i][feature] <= threshold);
+    let placeholder = nodes.len();
+    nodes.push(Node::Leaf { value: mean });
+    let left = build(x, y, w, &l, depth - 1, nodes);
+    let right = build(x, y, w, &r, depth - 1, nodes);
+    nodes[placeholder] = Node::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    };
+    placeholder
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_a_step_function() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 0.0 } else { 1.0 }).collect();
+        let w = vec![1.0; 20];
+        let t = RegressionTree::fit(&x, &y, &w, 2);
+        assert!(t.predict(&[3.0]) < 0.3);
+        assert!(t.predict(&[15.0]) > 0.7);
+    }
+
+    #[test]
+    fn depth_zero_returns_mean() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0.0, 2.0];
+        let w = vec![1.0, 1.0];
+        let t = RegressionTree::fit(&x, &y, &w, 0);
+        assert!((t.predict(&[0.0]) - 1.0).abs() < 1e-12);
+        assert!((t.predict(&[9.9]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_bias_the_fit() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0.0, 10.0];
+        let heavy_right = RegressionTree::fit(&x, &y, &[0.01, 1.0], 0);
+        assert!(heavy_right.predict(&[0.5]) > 8.0);
+    }
+
+    #[test]
+    fn splits_on_the_informative_feature() {
+        // Feature 0 is noise; feature 1 carries the signal.
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i * 7 % 11) as f64, (i % 2) as f64])
+            .collect();
+        let y: Vec<f64> = (0..40).map(|i| (i % 2) as f64 * 5.0).collect();
+        let w = vec![1.0; 40];
+        let t = RegressionTree::fit(&x, &y, &w, 2);
+        assert!((t.predict(&[5.0, 0.0]) - 0.0).abs() < 1.0);
+        assert!((t.predict(&[5.0, 1.0]) - 5.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_input_panics() {
+        let _ = RegressionTree::fit(&[], &[], &[], 2);
+    }
+}

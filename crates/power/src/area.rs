@@ -1,0 +1,179 @@
+//! Per-component area models (mm² at a nominal 22 nm node).
+//!
+//! Shapes follow McPAT's qualitative behaviour: RAM arrays scale linearly
+//! with capacity, CAM/scheduler structures superlinearly with entries, and
+//! multi-ported arrays superlinearly with port count (ports ≈ pipeline
+//! width here).
+
+use archx_sim::MicroArch;
+
+/// Area of one component in mm².
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentArea {
+    /// Component label.
+    pub name: &'static str,
+    /// Area in mm².
+    pub mm2: f64,
+}
+
+/// Port-count scaling factor for a structure read/written every cycle by a
+/// `width`-wide pipeline: area grows ~quadratically in ports for the wire
+/// dominated arrays McPAT models.
+fn port_factor(width: u32) -> f64 {
+    let w = width as f64;
+    0.5 + 0.5 * (w / 4.0).powf(1.7)
+}
+
+/// Breaks a microarchitecture into per-component areas.
+pub fn component_areas(arch: &MicroArch) -> Vec<ComponentArea> {
+    let w = arch.width as f64;
+    let mut v = Vec::with_capacity(16);
+
+    // Front end.
+    v.push(ComponentArea {
+        name: "fetch",
+        mm2: 0.08 + 0.002 * arch.fetch_buffer_bytes as f64 / 8.0
+            + 0.0015 * arch.fetch_queue_uops as f64,
+    });
+    v.push(ComponentArea {
+        name: "bpred",
+        mm2: 0.00003
+            * (arch.local_predictor + arch.global_predictor + arch.choice_predictor) as f64
+            + 0.00008 * arch.btb_entries as f64
+            + 0.0012 * arch.ras_entries as f64,
+    });
+    v.push(ComponentArea {
+        name: "decode",
+        mm2: 0.06 * w,
+    });
+
+    // Rename + ROB: CAM-ish, port scaled.
+    v.push(ComponentArea {
+        name: "rename",
+        mm2: 0.05 * port_factor(arch.width),
+    });
+    v.push(ComponentArea {
+        name: "rob",
+        mm2: 0.0035 * arch.rob_entries as f64 * port_factor(arch.width),
+    });
+
+    // Register files: entries × (2R+1W per width lane) superlinear.
+    let rf_area = |regs: u32| 0.0022 * regs as f64 * port_factor(arch.width);
+    v.push(ComponentArea {
+        name: "int_rf",
+        mm2: rf_area(arch.int_rf),
+    });
+    v.push(ComponentArea {
+        name: "fp_rf",
+        mm2: 1.25 * rf_area(arch.fp_rf),
+    });
+
+    // Scheduler: wakeup CAM grows superlinearly in entries.
+    v.push(ComponentArea {
+        name: "iq",
+        mm2: 0.004 * (arch.iq_entries as f64).powf(1.25) * port_factor(arch.width),
+    });
+    v.push(ComponentArea {
+        name: "lq",
+        mm2: 0.006 * arch.lq_entries as f64,
+    });
+    v.push(ComponentArea {
+        name: "sq",
+        mm2: 0.007 * arch.sq_entries as f64,
+    });
+
+    // Functional units.
+    v.push(ComponentArea {
+        name: "int_alu",
+        mm2: 0.065 * arch.int_alu as f64,
+    });
+    v.push(ComponentArea {
+        name: "int_mult_div",
+        mm2: 0.12 * arch.int_mult_div as f64,
+    });
+    v.push(ComponentArea {
+        name: "fp_alu",
+        mm2: 0.22 * arch.fp_alu as f64,
+    });
+    v.push(ComponentArea {
+        name: "fp_mult_div",
+        mm2: 0.26 * arch.fp_mult_div as f64,
+    });
+    v.push(ComponentArea {
+        name: "mem_ports",
+        mm2: 0.09 * arch.rd_wr_ports as f64,
+    });
+
+    // Caches: ~0.022 mm²/KB data array + associativity tag/mux overhead.
+    let cache_area = |kb: u32, assoc: u32| {
+        0.022 * kb as f64 * (1.0 + 0.06 * (assoc as f64 - 1.0)) + 0.05
+    };
+    v.push(ComponentArea {
+        name: "icache",
+        mm2: cache_area(arch.icache_kb, arch.icache_assoc),
+    });
+    v.push(ComponentArea {
+        name: "dcache",
+        mm2: cache_area(arch.dcache_kb, arch.dcache_assoc),
+    });
+
+    v
+}
+
+/// Total core area in mm² (excluding the fixed L2, which all designs share).
+pub fn total_area(arch: &MicroArch) -> f64 {
+    component_areas(arch).iter().map(|c| c.mm2).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_area_near_paper() {
+        let a = total_area(&MicroArch::baseline());
+        assert!(
+            (3.0..9.0).contains(&a),
+            "baseline area {a} should be in the Table 1 ballpark (5.66 mm²)"
+        );
+    }
+
+    #[test]
+    fn area_monotone_in_each_resource() {
+        let base = MicroArch::baseline();
+        let a0 = total_area(&base);
+        let mut bigger = base;
+        bigger.rob_entries *= 2;
+        assert!(total_area(&bigger) > a0);
+        let mut bigger = base;
+        bigger.int_rf += 64;
+        assert!(total_area(&bigger) > a0);
+        let mut bigger = base;
+        bigger.dcache_kb = 64;
+        assert!(total_area(&bigger) > a0);
+        let mut bigger = base;
+        bigger.fp_alu = 2;
+        assert!(total_area(&bigger) >= a0);
+    }
+
+    #[test]
+    fn width_scaling_is_superlinear() {
+        let mut narrow = MicroArch::baseline();
+        narrow.width = 2;
+        let mut wide = MicroArch::baseline();
+        wide.width = 8;
+        let a2 = total_area(&narrow);
+        let a8 = total_area(&wide);
+        assert!(a8 > a2 * 1.3, "8-wide {a8} should cost much more than 2-wide {a2}");
+    }
+
+    #[test]
+    fn component_names_unique() {
+        let v = component_areas(&MicroArch::baseline());
+        let mut names: Vec<_> = v.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(n, names.len());
+    }
+}

@@ -1,0 +1,96 @@
+//! Per-event dynamic energies and leakage densities.
+//!
+//! Units: nanojoules per event for dynamic energy; watts per mm² for
+//! leakage. Values are calibrated so the Table 1 baseline lands near the
+//! paper's ~0.2 W under typical activity.
+
+use archx_sim::MicroArch;
+
+/// Clock frequency of the modelled operating point, Hz.
+pub const FREQ_HZ: f64 = 2.0e9;
+
+/// Leakage power density in W/mm² (22 nm-ish, low-leakage process).
+pub const LEAKAGE_W_PER_MM2: f64 = 0.009;
+
+/// Dynamic energies per event, in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventEnergies {
+    /// Per committed instruction (front-end + rename + ROB traffic).
+    pub per_commit_nj: f64,
+    /// Per branch-predictor lookup.
+    pub per_bp_lookup_nj: f64,
+    /// Per L1 cache access (either cache).
+    pub per_l1_access_nj: f64,
+    /// Per L2 access.
+    pub per_l2_access_nj: f64,
+    /// Per DRAM access (core's share of interface energy).
+    pub per_dram_access_nj: f64,
+    /// Per integer ALU op.
+    pub per_int_alu_nj: f64,
+    /// Per integer multiply/divide op.
+    pub per_int_mult_nj: f64,
+    /// Per FP ALU op.
+    pub per_fp_alu_nj: f64,
+    /// Per FP multiply/divide op.
+    pub per_fp_mult_nj: f64,
+    /// Per memory-port use.
+    pub per_mem_port_nj: f64,
+    /// Per-cycle idle/clock-tree energy per unit width.
+    pub per_cycle_base_nj: f64,
+}
+
+impl EventEnergies {
+    /// Energies scaled to the structure sizes of `arch`: accessing a bigger
+    /// table costs more per event.
+    pub fn for_arch(arch: &MicroArch) -> Self {
+        let width = arch.width as f64;
+        let size_scale = |entries: u32, ref_entries: f64| {
+            // Energy per access grows ~sqrt(capacity) (bitline length).
+            (entries as f64 / ref_entries).sqrt()
+        };
+        EventEnergies {
+            per_commit_nj: 0.010
+                + 0.002 * size_scale(arch.rob_entries, 50.0)
+                + 0.001 * size_scale(arch.int_rf + arch.fp_rf, 100.0)
+                + 0.001 * size_scale(arch.iq_entries, 32.0),
+            per_bp_lookup_nj: 0.004
+                * size_scale(
+                    arch.local_predictor + arch.global_predictor + arch.choice_predictor,
+                    18432.0,
+                )
+                + 0.002 * size_scale(arch.btb_entries, 4096.0),
+            per_l1_access_nj: 0.012 * size_scale(arch.dcache_kb * 1024, 32.0 * 1024.0),
+            per_l2_access_nj: 0.10,
+            per_dram_access_nj: 2.0,
+            per_int_alu_nj: 0.004,
+            per_int_mult_nj: 0.020,
+            per_fp_alu_nj: 0.015,
+            per_fp_mult_nj: 0.030,
+            per_mem_port_nj: 0.006,
+            per_cycle_base_nj: 0.004 * (0.5 + 0.125 * width),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energies_positive_and_scale_with_size() {
+        let base = EventEnergies::for_arch(&MicroArch::baseline());
+        assert!(base.per_commit_nj > 0.0);
+        let mut big = MicroArch::baseline();
+        big.rob_entries = 256;
+        big.int_rf = 304;
+        let scaled = EventEnergies::for_arch(&big);
+        assert!(scaled.per_commit_nj > base.per_commit_nj);
+    }
+
+    #[test]
+    fn bigger_cache_costs_more_per_access() {
+        let small = EventEnergies::for_arch(&MicroArch::tiny());
+        let base = EventEnergies::for_arch(&MicroArch::baseline());
+        assert!(small.per_l1_access_nj < base.per_l1_access_nj);
+    }
+}

@@ -1,0 +1,365 @@
+//! Set-associative cache models with true-LRU replacement, and the fixed
+//! two-level hierarchy (parameterised L1s, fixed 2 MB 8-way L2, DRAM).
+
+use crate::config::{self, ReplPolicy, LINE_BYTES};
+
+/// Outcome of a cache hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Total latency in cycles, including lower levels on a miss.
+    pub latency: u64,
+    /// Whether the L1 lookup missed.
+    pub l1_miss: bool,
+    /// Whether the L2 lookup missed too (DRAM access).
+    pub l2_miss: bool,
+}
+
+/// A single set-associative cache with a configurable replacement policy.
+///
+/// For LRU/FIFO, per-way stamps record last-use / insertion order; the
+/// random policy picks victims from a deterministic xorshift stream. The
+/// model tracks tags only — the simulator is timing-only.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: u32,
+    assoc: u32,
+    policy: ReplPolicy,
+    /// tag per way per set; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// last-use (LRU) or insertion (FIFO) stamp per way per set.
+    stamps: Vec<u64>,
+    tick: u64,
+    rng: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds an LRU cache of `kb` KiB with the given associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not yield a positive power-of-two set
+    /// count; validate with [`crate::MicroArch::validate`] first.
+    pub fn new(kb: u32, assoc: u32) -> Self {
+        Self::with_policy(kb, assoc, ReplPolicy::Lru)
+    }
+
+    /// Builds a cache with an explicit replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid geometry (see [`Cache::new`]).
+    pub fn with_policy(kb: u32, assoc: u32, policy: ReplPolicy) -> Self {
+        let lines = kb * 1024 / LINE_BYTES;
+        assert!(assoc > 0 && lines >= assoc, "cache too small for associativity");
+        let sets = lines / assoc;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            sets,
+            assoc,
+            policy,
+            tags: vec![u64::MAX; (sets * assoc) as usize],
+            stamps: vec![0; (sets * assoc) as usize],
+            tick: 0,
+            rng: 0x2545_F491_4F6C_DD1D,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_of(&self, addr: u64) -> u32 {
+        ((addr / LINE_BYTES as u64) % self.sets as u64) as u32
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr / LINE_BYTES as u64 / self.sets as u64
+    }
+
+    /// Looks up `addr`, filling on miss. Returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        self.accesses += 1;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = (set * self.assoc) as usize;
+        let ways = &mut self.tags[base..base + self.assoc as usize];
+        if let Some(w) = ways.iter().position(|&t| t == tag) {
+            if self.policy == ReplPolicy::Lru {
+                self.stamps[base + w] = self.tick; // refresh recency
+            }
+            return true;
+        }
+        self.misses += 1;
+        // Victim: an invalid way first, else per policy.
+        let invalid = (0..self.assoc as usize).find(|&w| self.tags[base + w] == u64::MAX);
+        let victim = invalid.unwrap_or_else(|| match self.policy {
+            ReplPolicy::Lru | ReplPolicy::Fifo => (0..self.assoc as usize)
+                .min_by_key(|&w| self.stamps[base + w])
+                .expect("assoc > 0"),
+            ReplPolicy::Random => {
+                let mut x = self.rng;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                self.rng = x;
+                (x.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % self.assoc as usize
+            }
+        });
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.tick;
+        false
+    }
+
+    /// Number of accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Number of misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.sets
+    }
+}
+
+/// The simulated memory hierarchy: two private L1s over a shared L2, with
+/// a next-line prefetcher on the data side (sequential streams largely hit
+/// after their first line, as on real machines).
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// L1 instruction cache.
+    pub l1i: Cache,
+    /// L1 data cache.
+    pub l1d: Cache,
+    /// Shared second-level cache.
+    pub l2: Cache,
+    /// Stream-prefetcher entries: the next line each tracked stream
+    /// expects.
+    streams: [u64; 4],
+    /// Round-robin victim pointer for stream allocation.
+    stream_victim: usize,
+    prefetches: u64,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy from a microarchitecture configuration.
+    pub fn new(arch: &crate::MicroArch) -> Self {
+        Hierarchy {
+            l1i: Cache::with_policy(arch.icache_kb, arch.icache_assoc, arch.replacement),
+            l1d: Cache::with_policy(arch.dcache_kb, arch.dcache_assoc, arch.replacement),
+            l2: Cache::new(config::L2_KB, config::L2_ASSOC),
+            streams: [u64::MAX; 4],
+            stream_victim: 0,
+            prefetches: 0,
+        }
+    }
+
+    /// Instruction fetch access at `addr`.
+    pub fn fetch(&mut self, addr: u64) -> Access {
+        Self::two_level(&mut self.l1i, &mut self.l2, addr)
+    }
+
+    /// Data access at `addr`, with a small multi-stream prefetcher: four
+    /// tracked streams, each prefetching a few lines ahead when its
+    /// expected next line (within a short window, so out-of-order issue
+    /// does not break detection) is touched. Sequential sweeps hit after
+    /// their first lines, as with real stream prefetchers; random traffic
+    /// only pays mild pollution.
+    pub fn data(&mut self, addr: u64) -> Access {
+        let line = addr / LINE_BYTES as u64;
+        let access = Self::two_level(&mut self.l1d, &mut self.l2, addr);
+        const LOOKAHEAD: u64 = 4;
+        let matched = self
+            .streams
+            .iter()
+            .position(|&next| next != u64::MAX && line >= next && line < next + LOOKAHEAD);
+        let from = match matched {
+            Some(k) => {
+                let start = self.streams[k].max(line + 1);
+                self.streams[k] = line + 1;
+                start
+            }
+            None => {
+                self.streams[self.stream_victim] = line + 1;
+                self.stream_victim = (self.stream_victim + 1) % self.streams.len();
+                line + 1
+            }
+        };
+        // Keep the prefetch frontier LOOKAHEAD lines ahead of the access.
+        for l in from..line + 1 + LOOKAHEAD {
+            let a = l * LINE_BYTES as u64;
+            self.l1d.access(a);
+            self.l2.access(a);
+            self.prefetches += 1;
+        }
+        access
+    }
+
+    /// Next-line prefetches issued so far.
+    pub fn prefetches(&self) -> u64 {
+        self.prefetches
+    }
+
+    fn two_level(l1: &mut Cache, l2: &mut Cache, addr: u64) -> Access {
+        if l1.access(addr) {
+            return Access {
+                latency: config::L1_HIT_CYCLES,
+                l1_miss: false,
+                l2_miss: false,
+            };
+        }
+        if l2.access(addr) {
+            Access {
+                latency: config::L1_HIT_CYCLES + config::L2_HIT_CYCLES,
+                l1_miss: true,
+                l2_miss: false,
+            }
+        } else {
+            Access {
+                latency: config::L1_HIT_CYCLES + config::L2_HIT_CYCLES + config::DRAM_CYCLES,
+                l1_miss: true,
+                l2_miss: true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = Cache::new(16, 2);
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1004)); // same line
+        assert_eq!(c.accesses(), 3);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 2-way: fill a set with two lines, touch the first, insert a third;
+        // the second line must be evicted.
+        let mut c = Cache::new(16, 2);
+        let sets = c.sets() as u64;
+        let a = 0u64;
+        let b = sets * LINE_BYTES as u64; // same set, different tag
+        let d = 2 * sets * LINE_BYTES as u64;
+        c.access(a);
+        c.access(b);
+        assert!(c.access(a)); // refresh a
+        c.access(d); // evicts b
+        assert!(c.access(a));
+        assert!(!c.access(b)); // b was evicted
+    }
+
+    #[test]
+    fn hierarchy_latencies_ordered() {
+        let arch = crate::MicroArch::baseline();
+        let mut h = Hierarchy::new(&arch);
+        let miss = h.data(0x8000);
+        assert!(miss.l1_miss && miss.l2_miss);
+        assert_eq!(
+            miss.latency,
+            config::L1_HIT_CYCLES + config::L2_HIT_CYCLES + config::DRAM_CYCLES
+        );
+        let hit = h.data(0x8000);
+        assert!(!hit.l1_miss);
+        assert_eq!(hit.latency, config::L1_HIT_CYCLES);
+    }
+
+    #[test]
+    fn l2_catches_l1_evictions() {
+        let arch = crate::MicroArch::tiny();
+        let mut h = Hierarchy::new(&arch);
+        // Stream enough lines to wrap the 16 KiB L1D, then re-touch the
+        // first: L1 misses but L2 (2 MB) still holds it.
+        let lines = (arch.dcache_kb * 1024 / LINE_BYTES) as u64 * 2;
+        for i in 0..lines {
+            h.data(i * LINE_BYTES as u64);
+        }
+        let back = h.data(0);
+        assert!(back.l1_miss);
+        assert!(!back.l2_miss);
+    }
+
+    #[test]
+    #[should_panic(expected = "cache too small")]
+    fn zero_geometry_panics() {
+        let _ = Cache::new(0, 2);
+    }
+
+    #[test]
+    fn fifo_ignores_reuse() {
+        use crate::config::ReplPolicy;
+        // Fill a 2-way set, re-touch the first line, insert a third: FIFO
+        // evicts the first (oldest insertion) despite its recent use.
+        let mut c = Cache::with_policy(16, 2, ReplPolicy::Fifo);
+        let sets = c.sets() as u64;
+        let a = 0u64;
+        let b = sets * LINE_BYTES as u64;
+        let d = 2 * sets * LINE_BYTES as u64;
+        c.access(a);
+        c.access(b);
+        assert!(c.access(a)); // reuse does not refresh FIFO order
+        c.access(d); // evicts a
+        assert!(!c.access(a), "FIFO must have evicted the oldest insertion");
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_and_correct_on_hits() {
+        use crate::config::ReplPolicy;
+        let run = || {
+            let mut c = Cache::with_policy(16, 2, ReplPolicy::Random);
+            let mut hits = 0;
+            for i in 0..4_000u64 {
+                if c.access((i * 2_654_435_761) % (64 << 10)) {
+                    hits += 1;
+                }
+            }
+            (hits, c.misses())
+        };
+        assert_eq!(run(), run(), "random replacement must be deterministic");
+        // Hits still work: a resident line must hit.
+        let mut c = Cache::with_policy(16, 2, ReplPolicy::Random);
+        c.access(0x100);
+        assert!(c.access(0x104));
+    }
+
+    #[test]
+    fn replacement_policy_ranking_on_looping_pattern() {
+        use crate::config::ReplPolicy;
+        // A cyclic sweep slightly larger than one way thrashes LRU's sets
+        // identically for all policies when fully random; use a mixed
+        // re-reference pattern where LRU's recency wins.
+        let pattern: Vec<u64> = (0..6_000u64)
+            .map(|i| {
+                if i % 3 == 0 {
+                    (i % 64) * 64 // hot re-referenced lines
+                } else {
+                    ((i * 37) % 1024) * 64 // scattered
+                }
+            })
+            .collect();
+        let misses = |policy| {
+            let mut c = Cache::with_policy(16, 2, policy);
+            for &a in &pattern {
+                c.access(a);
+            }
+            c.misses()
+        };
+        let lru = misses(ReplPolicy::Lru);
+        let random = misses(ReplPolicy::Random);
+        assert!(
+            lru <= random + random / 10,
+            "LRU ({lru}) should not lose badly to random ({random}) with reuse"
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Functional-unit pools with occupancy and release tracking.
+//!
+//! Each unit remembers when it becomes free and which instruction last
+//! released it, so the issue stage can both find the earliest-available
+//! unit and record the issue→issue dependence edge of the paper's DEG.
+
+use crate::isa::OpClass;
+use crate::trace::{FuKind, InstrIdx, NO_INSTR};
+
+/// One pool of identical functional units of a given [`FuKind`].
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    kind: FuKind,
+    /// Cycle at which each unit becomes free.
+    free_at: Vec<u64>,
+    /// Instruction that last occupied each unit.
+    last_user: Vec<InstrIdx>,
+    issued: u64,
+}
+
+/// Result of acquiring a functional unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuGrant {
+    /// Cycle at which the unit is actually available (≥ the request cycle
+    /// when the instruction had to wait).
+    pub ready_at: u64,
+    /// Previous user of the granted unit ([`NO_INSTR`] if the unit was
+    /// never used). The pipeline records a contention edge only when the
+    /// requester actually waited.
+    pub last_user: InstrIdx,
+}
+
+impl FuPool {
+    /// A pool of `count` units of the given kind.
+    pub fn new(kind: FuKind, count: u32) -> Self {
+        assert!(count > 0, "functional unit pools must be non-empty");
+        FuPool {
+            kind,
+            free_at: vec![0; count as usize],
+            last_user: vec![NO_INSTR; count as usize],
+            issued: 0,
+        }
+    }
+
+    /// The pool's unit kind.
+    pub fn kind(&self) -> FuKind {
+        self.kind
+    }
+
+    /// Earliest cycle at which some unit is free.
+    pub fn earliest_free(&self) -> u64 {
+        *self.free_at.iter().min().expect("non-empty pool")
+    }
+
+    /// Whether a unit is free at `cycle`.
+    pub fn available_at(&self, cycle: u64) -> bool {
+        self.free_at.iter().any(|&f| f <= cycle)
+    }
+
+    /// Acquires the earliest-free unit at `cycle` for `instr`, occupying it
+    /// for `occupancy` cycles starting when it becomes available.
+    pub fn acquire(&mut self, cycle: u64, occupancy: u64, instr: InstrIdx) -> FuGrant {
+        let (idx, &free_at) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &f)| f)
+            .expect("non-empty pool");
+        let start = free_at.max(cycle);
+        let last_user = self.last_user[idx];
+        self.free_at[idx] = start + occupancy;
+        self.last_user[idx] = instr;
+        self.issued += 1;
+        FuGrant {
+            ready_at: start,
+            last_user,
+        }
+    }
+
+    /// Operations issued through this pool so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+/// The full set of functional-unit pools of a core.
+#[derive(Debug, Clone)]
+pub struct FuSet {
+    pools: [FuPool; 5],
+}
+
+impl FuSet {
+    /// Builds the pools from a configuration.
+    pub fn new(arch: &crate::MicroArch) -> Self {
+        FuSet {
+            pools: [
+                FuPool::new(FuKind::IntAlu, arch.int_alu),
+                FuPool::new(FuKind::IntMultDiv, arch.int_mult_div),
+                FuPool::new(FuKind::FpAlu, arch.fp_alu),
+                FuPool::new(FuKind::FpMultDiv, arch.fp_mult_div),
+                FuPool::new(FuKind::RdWrPort, arch.rd_wr_ports),
+            ],
+        }
+    }
+
+    /// Which unit kind executes the given op class.
+    pub fn kind_for(op: OpClass) -> FuKind {
+        match op {
+            OpClass::IntAlu
+            | OpClass::BranchCond
+            | OpClass::BranchUncond
+            | OpClass::Call
+            | OpClass::Ret => FuKind::IntAlu,
+            OpClass::IntMult | OpClass::IntDiv => FuKind::IntMultDiv,
+            OpClass::FpAlu => FuKind::FpAlu,
+            OpClass::FpMult | OpClass::FpDiv => FuKind::FpMultDiv,
+            OpClass::Load | OpClass::Store => FuKind::RdWrPort,
+        }
+    }
+
+    /// Occupancy of the unit for one op: 1 cycle when pipelined, the full
+    /// latency when not.
+    pub fn occupancy(op: OpClass) -> u64 {
+        if op.unpipelined() {
+            op.exec_latency()
+        } else {
+            1
+        }
+    }
+
+    /// The pool for a unit kind.
+    pub fn pool(&self, kind: FuKind) -> &FuPool {
+        &self.pools[Self::index(kind)]
+    }
+
+    /// Mutable access to the pool for a unit kind.
+    pub fn pool_mut(&mut self, kind: FuKind) -> &mut FuPool {
+        &mut self.pools[Self::index(kind)]
+    }
+
+    fn index(kind: FuKind) -> usize {
+        match kind {
+            FuKind::IntAlu => 0,
+            FuKind::IntMultDiv => 1,
+            FuKind::FpAlu => 2,
+            FuKind::FpMultDiv => 3,
+            FuKind::RdWrPort => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_when_idle_has_no_contention() {
+        let mut p = FuPool::new(FuKind::IntAlu, 2);
+        let g = p.acquire(5, 1, 0);
+        assert_eq!(g.ready_at, 5);
+        assert_eq!(g.last_user, NO_INSTR);
+    }
+
+    #[test]
+    fn acquire_when_busy_waits_and_names_releaser() {
+        let mut p = FuPool::new(FuKind::IntMultDiv, 1);
+        p.acquire(0, 12, 7); // unpipelined divide by instr 7
+        let g = p.acquire(1, 12, 8);
+        assert_eq!(g.ready_at, 12);
+        assert_eq!(g.last_user, 7);
+    }
+
+    #[test]
+    fn two_units_serve_two_ops_in_parallel() {
+        let mut p = FuPool::new(FuKind::FpAlu, 2);
+        let a = p.acquire(0, 1, 0);
+        let b = p.acquire(0, 1, 1);
+        assert_eq!(a.ready_at, 0);
+        assert_eq!(b.ready_at, 0);
+        assert_eq!(b.last_user, NO_INSTR);
+    }
+
+    #[test]
+    fn kind_mapping_covers_all_ops() {
+        assert_eq!(FuSet::kind_for(OpClass::Load), FuKind::RdWrPort);
+        assert_eq!(FuSet::kind_for(OpClass::Ret), FuKind::IntAlu);
+        assert_eq!(FuSet::kind_for(OpClass::FpDiv), FuKind::FpMultDiv);
+        assert_eq!(FuSet::occupancy(OpClass::IntDiv), 12);
+        assert_eq!(FuSet::occupancy(OpClass::IntMult), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_units_panics() {
+        let _ = FuPool::new(FuKind::IntAlu, 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Back-end resource pools with a scoreboard.
+//!
+//! Every pool entry has a stable ID; the pool remembers, per entry, which
+//! instruction most recently *released* it. When a stalled instruction
+//! finally obtains an entry, the recorded releaser is exactly the paper's
+//! scoreboard information used to place the rename→rename resource-usage
+//! edge (Section 4.1).
+
+use crate::trace::{InstrIdx, NO_INSTR};
+use std::collections::VecDeque;
+
+/// A fixed-capacity pool of identical entries (ROB, IQ, LQ, SQ, or a
+/// physical register file's free list) with release tracking.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    free: VecDeque<u32>,
+    last_releaser: Vec<InstrIdx>,
+    holder: Vec<InstrIdx>,
+    capacity: u32,
+}
+
+/// A granted pool entry together with its scoreboard provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// The entry ID obtained.
+    pub entry: u32,
+    /// The instruction that last released this entry ([`NO_INSTR`] when the
+    /// entry had never been used).
+    pub last_releaser: InstrIdx,
+}
+
+impl Pool {
+    /// Creates a pool with `capacity` entries, all free.
+    pub fn new(capacity: u32) -> Self {
+        Pool {
+            free: (0..capacity).collect(),
+            last_releaser: vec![NO_INSTR; capacity as usize],
+            holder: vec![NO_INSTR; capacity as usize],
+            capacity,
+        }
+    }
+
+    /// Total number of entries.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Currently free entries.
+    pub fn available(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Currently held entries.
+    pub fn in_use(&self) -> u32 {
+        self.capacity - self.available()
+    }
+
+    /// Whether at least `n` entries are free.
+    pub fn has(&self, n: u32) -> bool {
+        self.available() >= n
+    }
+
+    /// Allocates one entry for `instr`, FIFO over the free list so the
+    /// releaser recorded is the oldest (the one whose release unblocked a
+    /// stalled consumer).
+    pub fn alloc(&mut self, instr: InstrIdx) -> Option<Grant> {
+        let entry = self.free.pop_front()?;
+        let last_releaser = self.last_releaser[entry as usize];
+        self.holder[entry as usize] = instr;
+        Some(Grant {
+            entry,
+            last_releaser,
+        })
+    }
+
+    /// Releases `entry`, recording `instr` as the releaser.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is not currently held (double free).
+    pub fn release(&mut self, entry: u32, instr: InstrIdx) {
+        assert!(
+            self.holder[entry as usize] != NO_INSTR,
+            "double free of pool entry {entry}"
+        );
+        self.holder[entry as usize] = NO_INSTR;
+        self.last_releaser[entry as usize] = instr;
+        self.free.push_back(entry);
+    }
+
+    /// The instruction currently holding `entry`, if any.
+    pub fn holder(&self, entry: u32) -> Option<InstrIdx> {
+        let h = self.holder[entry as usize];
+        (h != NO_INSTR).then_some(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_cycle() {
+        let mut p = Pool::new(2);
+        assert_eq!(p.available(), 2);
+        let a = p.alloc(0).unwrap();
+        let b = p.alloc(1).unwrap();
+        assert_eq!(a.last_releaser, NO_INSTR);
+        assert_eq!(b.last_releaser, NO_INSTR);
+        assert!(p.alloc(2).is_none());
+        assert_eq!(p.in_use(), 2);
+        p.release(a.entry, 0);
+        let c = p.alloc(2).unwrap();
+        assert_eq!(c.entry, a.entry);
+        assert_eq!(c.last_releaser, 0, "scoreboard must name the releaser");
+    }
+
+    #[test]
+    fn fifo_free_list_names_oldest_releaser() {
+        let mut p = Pool::new(3);
+        let g: Vec<_> = (0..3).map(|i| p.alloc(i).unwrap()).collect();
+        p.release(g[1].entry, 1);
+        p.release(g[0].entry, 0);
+        // Next alloc takes the first-released entry (from instr 1).
+        let n = p.alloc(10).unwrap();
+        assert_eq!(n.last_releaser, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut p = Pool::new(1);
+        let g = p.alloc(0).unwrap();
+        p.release(g.entry, 0);
+        p.release(g.entry, 0);
+    }
+
+    #[test]
+    fn holder_query() {
+        let mut p = Pool::new(1);
+        let g = p.alloc(7).unwrap();
+        assert_eq!(p.holder(g.entry), Some(7));
+        p.release(g.entry, 7);
+        assert_eq!(p.holder(g.entry), None);
+    }
+}

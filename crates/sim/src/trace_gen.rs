@@ -1,0 +1,206 @@
+//! Small deterministic instruction-trace generators.
+//!
+//! These are building blocks for unit tests, documentation examples and the
+//! paper's walkthrough figures. Full SPEC-like workloads live in the
+//! `archx-workloads` crate; the generators here are deliberately simple and
+//! dependency-free (a private xorshift PRNG keeps them deterministic).
+
+use crate::isa::{Instruction, OpClass, Reg};
+
+/// A tiny deterministic PRNG (xorshift64*), private to trace generation.
+#[derive(Debug, Clone)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Seeds the generator; a zero seed is remapped to a fixed constant.
+    pub fn new(seed: u64) -> Self {
+        XorShift {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be positive).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// A float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Code footprint (in instructions) used by the simple generators: traces
+/// loop over this many static PCs, like the hot loop of a real program.
+pub const CODE_FOOTPRINT: usize = 512;
+
+fn loop_pc(k: usize) -> u64 {
+    0x1000 + 4 * (k % CODE_FOOTPRINT) as u64
+}
+
+/// A fully serial chain: every op reads the previous op's result.
+pub fn linear_int_chain(n: usize) -> Vec<Instruction> {
+    (0..n)
+        .map(|k| {
+            Instruction::op(
+                loop_pc(k),
+                OpClass::IntAlu,
+                [Some(Reg::int(1)), None],
+                Some(Reg::int(1)),
+            )
+        })
+        .collect()
+}
+
+/// Fully independent integer ops (maximum ILP), round-robin registers.
+pub fn independent_int_ops(n: usize) -> Vec<Instruction> {
+    (0..n)
+        .map(|k| {
+            let r = (k % 24) as u8 + 2;
+            Instruction::op(
+                loop_pc(k),
+                OpClass::IntAlu,
+                [Some(Reg::int(r)), None],
+                Some(Reg::int(r)),
+            )
+        })
+        .collect()
+}
+
+/// Alternating ALU ops and hard-to-predict conditional branches.
+pub fn random_branches(n: usize, seed: u64) -> Vec<Instruction> {
+    let mut rng = XorShift::new(seed);
+    (0..n)
+        .map(|k| {
+            let pc = loop_pc(k);
+            if k % 4 == 3 {
+                Instruction::branch(pc, Reg::int(2), rng.below(2) == 0, pc + 64)
+            } else {
+                let r = (k % 8) as u8 + 2;
+                Instruction::op(pc, OpClass::IntAlu, [Some(Reg::int(r)), None], Some(Reg::int(r)))
+            }
+        })
+        .collect()
+}
+
+/// Dependent loads over a large random footprint (cache-hostile).
+pub fn pointer_chase(n: usize, footprint_bytes: u64, seed: u64) -> Vec<Instruction> {
+    let mut rng = XorShift::new(seed);
+    (0..n)
+        .map(|k| {
+            let pc = loop_pc(k);
+            let addr = rng.below(footprint_bytes.max(64)) & !7;
+            Instruction::load(pc, addr, Reg::int(1), Reg::int(1))
+        })
+        .collect()
+}
+
+/// Store followed by a load of the same address (exercises forwarding).
+pub fn store_load_pairs(n: usize) -> Vec<Instruction> {
+    (0..n)
+        .map(|k| {
+            let pc = loop_pc(k);
+            let addr = 0x8000 + 8 * (k as u64 / 2);
+            if k % 2 == 0 {
+                Instruction::store(pc, addr, Reg::int(1), Reg::int(2))
+            } else {
+                Instruction::load(pc, addr, Reg::int(1), Reg::int(3))
+            }
+        })
+        .collect()
+}
+
+/// Back-to-back integer divides through a scarce divider.
+pub fn divide_heavy(n: usize) -> Vec<Instruction> {
+    (0..n)
+        .map(|k| {
+            let r = (k % 16) as u8 + 2;
+            Instruction::op(
+                loop_pc(k),
+                OpClass::IntDiv,
+                [Some(Reg::int(r)), None],
+                Some(Reg::int(r)),
+            )
+        })
+        .collect()
+}
+
+/// A mixed workload: ALU, FP, memory and branches, loosely coupled.
+pub fn mixed_workload(n: usize, seed: u64) -> Vec<Instruction> {
+    let mut rng = XorShift::new(seed);
+    (0..n)
+        .map(|k| {
+            let pc = loop_pc(k);
+            let r = (rng.below(20) + 2) as u8;
+            let r2 = (rng.below(20) + 2) as u8;
+            match rng.below(10) {
+                0 | 1 => {
+                    let addr = 0x10000 + rng.below(1 << 16) & !7;
+                    Instruction::load(pc, addr, Reg::int(r), Reg::int(r2))
+                }
+                2 => {
+                    let addr = 0x10000 + rng.below(1 << 16) & !7;
+                    Instruction::store(pc, addr, Reg::int(r), Reg::int(r2))
+                }
+                3 => Instruction::branch(pc, Reg::int(r), rng.unit() < 0.7, pc + 128),
+                4 => Instruction::op(pc, OpClass::FpAlu, [Some(Reg::fp(r)), Some(Reg::fp(r2))], Some(Reg::fp(r))),
+                5 => Instruction::op(pc, OpClass::FpMult, [Some(Reg::fp(r)), None], Some(Reg::fp(r2))),
+                6 => Instruction::op(pc, OpClass::IntMult, [Some(Reg::int(r)), None], Some(Reg::int(r2))),
+                _ => Instruction::op(pc, OpClass::IntAlu, [Some(Reg::int(r)), Some(Reg::int(r2))], Some(Reg::int(r))),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_produce_requested_lengths() {
+        assert_eq!(linear_int_chain(10).len(), 10);
+        assert_eq!(independent_int_ops(10).len(), 10);
+        assert_eq!(random_branches(10, 1).len(), 10);
+        assert_eq!(pointer_chase(10, 4096, 1).len(), 10);
+        assert_eq!(store_load_pairs(10).len(), 10);
+        assert_eq!(divide_heavy(10).len(), 10);
+        assert_eq!(mixed_workload(10, 1).len(), 10);
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_nonconstant() {
+        let mut a = XorShift::new(7);
+        let mut b = XorShift::new(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut r = XorShift::new(3);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn chain_is_truly_dependent() {
+        let c = linear_int_chain(3);
+        assert_eq!(c[1].srcs[0], c[0].dst.map(|_| Reg::int(1)));
+    }
+}

@@ -1,0 +1,259 @@
+//! User-defined workload suites from a plain-text description.
+//!
+//! The bundled SPEC-like suites are hard-coded; downstream users will want
+//! their own workload characterisations. This module parses a small
+//! INI-style format (no external dependencies) into a `Vec<Workload>`:
+//!
+//! ```text
+//! # comment
+//! [my_kernel]
+//! weight = 2.0
+//! load = 0.3
+//! store = 0.1
+//! branch = 0.12
+//! fp_alu = 0.05
+//! dep_distance = 6.5
+//! biased_fraction = 0.8
+//! bias = 0.95
+//! patterned_fraction = 0.1
+//! pattern_period = 4
+//! footprint_kb = 4096
+//! streaming = 0.5
+//! stride = 8
+//! hot_fraction = 0.9
+//! hot_kb = 32
+//! code_instrs = 3000
+//!
+//! [another]
+//! ...
+//! ```
+//!
+//! Unspecified keys keep [`WorkloadSpec::balanced`] defaults; weights are
+//! normalised to sum to one across the suite.
+
+use crate::generator::WorkloadSpec;
+use crate::spec::{Workload, WorkloadId};
+
+/// Errors from suite-file parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SuiteFileError {
+    /// A key/value outside any `[section]`.
+    KeyOutsideSection {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A malformed line.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        reason: String,
+    },
+    /// A workload failed validation after assembly.
+    InvalidWorkload {
+        /// Section name.
+        name: String,
+        /// Validation message.
+        reason: String,
+    },
+    /// The file defined no workloads.
+    Empty,
+}
+
+impl std::fmt::Display for SuiteFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuiteFileError::KeyOutsideSection { line } => {
+                write!(f, "line {line}: key outside any [section]")
+            }
+            SuiteFileError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+            SuiteFileError::InvalidWorkload { name, reason } => {
+                write!(f, "workload [{name}]: {reason}")
+            }
+            SuiteFileError::Empty => write!(f, "no workloads defined"),
+        }
+    }
+}
+
+impl std::error::Error for SuiteFileError {}
+
+/// Parses a suite description (see the module docs for the format).
+///
+/// Workload names are leaked into `'static` strings — suite files are
+/// loaded once per process, matching [`WorkloadId`]'s design.
+///
+/// # Errors
+///
+/// Returns [`SuiteFileError`] on malformed input or invalid workloads.
+pub fn parse_suite(text: &str) -> Result<Vec<Workload>, SuiteFileError> {
+    struct Building {
+        name: String,
+        spec: WorkloadSpec,
+        weight: f64,
+    }
+    let mut out: Vec<Building> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        let lno = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[') {
+            let name = name
+                .strip_suffix(']')
+                .ok_or(SuiteFileError::Malformed {
+                    line: lno,
+                    reason: "unterminated [section]".into(),
+                })?
+                .trim();
+            if name.is_empty() {
+                return Err(SuiteFileError::Malformed {
+                    line: lno,
+                    reason: "empty section name".into(),
+                });
+            }
+            out.push(Building {
+                name: name.to_string(),
+                spec: WorkloadSpec::balanced(),
+                weight: 1.0,
+            });
+            continue;
+        }
+        let (key, value) = line.split_once('=').ok_or(SuiteFileError::Malformed {
+            line: lno,
+            reason: "expected key = value".into(),
+        })?;
+        let current = out.last_mut().ok_or(SuiteFileError::KeyOutsideSection { line: lno })?;
+        let key = key.trim();
+        let value = value.trim();
+        let fval = || -> Result<f64, SuiteFileError> {
+            value.parse().map_err(|_| SuiteFileError::Malformed {
+                line: lno,
+                reason: format!("`{key}` needs a number, got `{value}`"),
+            })
+        };
+        match key {
+            "weight" => current.weight = fval()?,
+            "load" => current.spec.mix.load = fval()?,
+            "store" => current.spec.mix.store = fval()?,
+            "branch" => current.spec.mix.branch = fval()?,
+            "call_ret" => current.spec.mix.call_ret = fval()?,
+            "fp_alu" => current.spec.mix.fp_alu = fval()?,
+            "fp_mult" => current.spec.mix.fp_mult = fval()?,
+            "fp_div" => current.spec.mix.fp_div = fval()?,
+            "int_mult" => current.spec.mix.int_mult = fval()?,
+            "int_div" => current.spec.mix.int_div = fval()?,
+            "dep_distance" => current.spec.mean_dep_distance = fval()?,
+            "biased_fraction" => current.spec.branches.biased_fraction = fval()?,
+            "bias" => current.spec.branches.bias = fval()?,
+            "patterned_fraction" => current.spec.branches.patterned_fraction = fval()?,
+            "pattern_period" => current.spec.branches.pattern_period = fval()? as u32,
+            "footprint_kb" => current.spec.memory.footprint_bytes = (fval()? * 1024.0) as u64,
+            "streaming" => current.spec.memory.streaming_fraction = fval()?,
+            "stride" => current.spec.memory.stride = fval()? as u64,
+            "hot_fraction" => current.spec.memory.hot_fraction = fval()?,
+            "hot_kb" => current.spec.memory.hot_bytes = (fval()? * 1024.0) as u64,
+            "code_instrs" => current.spec.code_instrs = fval()? as u32,
+            unknown => {
+                return Err(SuiteFileError::Malformed {
+                    line: lno,
+                    reason: format!("unknown key `{unknown}`"),
+                })
+            }
+        }
+    }
+
+    if out.is_empty() {
+        return Err(SuiteFileError::Empty);
+    }
+    let total_weight: f64 = out.iter().map(|b| b.weight).sum();
+    let mut suite = Vec::with_capacity(out.len());
+    for b in out {
+        b.spec
+            .validate()
+            .map_err(|reason| SuiteFileError::InvalidWorkload {
+                name: b.name.clone(),
+                reason,
+            })?;
+        let name: &'static str = Box::leak(b.name.into_boxed_str());
+        suite.push(Workload {
+            id: WorkloadId(name),
+            spec: b.spec,
+            weight: b.weight / total_weight,
+        });
+    }
+    Ok(suite)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# my suite
+[kernel_a]
+weight = 3
+load = 0.30
+fp_alu = 0.10
+footprint_kb = 4096
+streaming = 0.6
+
+[kernel_b]  # trailing comment
+weight = 1
+branch = 0.20
+dep_distance = 2.5
+code_instrs = 6000
+";
+
+    #[test]
+    fn parses_and_normalises_weights() {
+        let suite = parse_suite(SAMPLE).expect("parses");
+        assert_eq!(suite.len(), 2);
+        assert_eq!(suite[0].id.0, "kernel_a");
+        assert!((suite[0].weight - 0.75).abs() < 1e-12);
+        assert!((suite[1].weight - 0.25).abs() < 1e-12);
+        assert!((suite[0].spec.mix.load - 0.30).abs() < 1e-12);
+        assert_eq!(suite[0].spec.memory.footprint_bytes, 4096 * 1024);
+        assert_eq!(suite[1].spec.code_instrs, 6000);
+        // Unset keys keep defaults.
+        assert_eq!(suite[1].spec.memory.stride, 8);
+    }
+
+    #[test]
+    fn parsed_workloads_generate() {
+        let suite = parse_suite(SAMPLE).expect("parses");
+        let t = suite[0].generate(500, 1);
+        assert_eq!(t.len(), 500);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(parse_suite(""), Err(SuiteFileError::Empty)));
+        assert!(matches!(
+            parse_suite("load = 0.5\n"),
+            Err(SuiteFileError::KeyOutsideSection { line: 1 })
+        ));
+        assert!(matches!(
+            parse_suite("[a]\nzzz = 1\n"),
+            Err(SuiteFileError::Malformed { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_suite("[a\n"),
+            Err(SuiteFileError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse_suite("[a]\nload = x\n"),
+            Err(SuiteFileError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_workloads() {
+        let text = "[bad]\nload = 0.9\nstore = 0.9\n";
+        assert!(matches!(
+            parse_suite(text),
+            Err(SuiteFileError::InvalidWorkload { .. })
+        ));
+    }
+}

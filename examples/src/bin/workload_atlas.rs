@@ -1,0 +1,40 @@
+//! Workload atlas: characterise every bundled SPEC-like workload on the
+//! Table 1 baseline — IPC, branch misprediction rate, cache behaviour —
+//! the quickest way to see what each synthetic workload stresses.
+//!
+//! ```sh
+//! cargo run -p archx-examples --release --bin workload_atlas [instrs]
+//! ```
+
+use archexplorer::prelude::*;
+
+fn main() {
+    let instrs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    let core = OooCore::new(MicroArch::baseline());
+    for (name, suite) in [("SPEC06", spec06_suite()), ("SPEC17", spec17_suite())] {
+        println!("== {name}-like suite, {instrs} instructions each ==");
+        println!(
+            "{:<18} {:>6} {:>9} {:>9} {:>9} {:>9}",
+            "workload", "IPC", "bp-miss%", "d$-miss%", "i$-miss%", "mem/Kinst"
+        );
+        let mut sum = 0.0;
+        for w in &suite {
+            let r = core.run(&w.generate(instrs, 1));
+            sum += r.stats.ipc();
+            println!(
+                "{:<18} {:>6.3} {:>9.2} {:>9.2} {:>9.2} {:>9.1}",
+                w.id.0,
+                r.stats.ipc(),
+                100.0 * r.stats.mispredict_rate(),
+                100.0 * r.stats.dcache_miss_rate(),
+                100.0 * r.stats.icache_misses as f64 / r.stats.icache_accesses.max(1) as f64,
+                1000.0 * r.stats.l2_misses as f64 / r.stats.committed.max(1) as f64,
+            );
+        }
+        println!("{:<18} {:>6.4}\n", "suite average IPC", sum / suite.len() as f64);
+    }
+    println!("(paper Table 1 reports baseline IPC 0.9418 on its SPEC17 Simpoints)");
+}

@@ -1,0 +1,6 @@
+//! Shared helpers for the workspace integration tests; the tests themselves
+//! live in `tests/tests/`.
+
+/// Workload length used by most integration tests — small enough to keep
+/// the suite fast, long enough to exercise steady-state pipeline behaviour.
+pub const TEST_TRACE_LEN: usize = 5_000;
