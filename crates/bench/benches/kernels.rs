@@ -2,15 +2,15 @@
 //! simulator, DEG construction, induced-DEG virtual edges, critical-path
 //! DP, exact 3-D hypervolume, and the surrogate models.
 
-use archexplorer::deg::{build_deg, critical, induce};
 use archexplorer::deg::bottleneck;
-use archexplorer::sim::extern_trace;
-use archexplorer::workloads::pick_simpoints;
+use archexplorer::deg::{build_deg, critical, induce};
 use archexplorer::dse::ml::{AdaBoostRt, GaussianProcess};
 use archexplorer::dse::pareto::{hypervolume, RefPoint};
 use archexplorer::dse::space::DesignSpace;
 use archexplorer::power::{PowerModel, PpaResult};
+use archexplorer::sim::extern_trace;
 use archexplorer::sim::{trace_gen, MicroArch, OooCore};
+use archexplorer::workloads::pick_simpoints;
 use archexplorer::workloads::spec06_suite;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
@@ -111,7 +111,9 @@ fn bench_trace_io(c: &mut Criterion) {
     let text = extern_trace::export(&result);
     let mut g = c.benchmark_group("trace_io");
     g.sample_size(20);
-    g.bench_function("export_10k", |b| b.iter(|| black_box(extern_trace::export(&result))));
+    g.bench_function("export_10k", |b| {
+        b.iter(|| black_box(extern_trace::export(&result)))
+    });
     g.bench_function("import_10k", |b| {
         b.iter(|| black_box(extern_trace::import(&text)).expect("parses"))
     });
@@ -146,7 +148,9 @@ fn bench_space(c: &mut Criterion) {
         b.iter(|| black_box(space.random(&mut rng)))
     });
     let arch = space.random(&mut rng);
-    c.bench_function("space/features", |b| b.iter(|| black_box(space.features(&arch))));
+    c.bench_function("space/features", |b| {
+        b.iter(|| black_box(space.features(&arch)))
+    });
 }
 
 criterion_group!(

@@ -12,11 +12,11 @@ pub struct Args {
 impl Args {
     /// Parses `std::env::args()`.
     pub fn from_env() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_args(std::env::args().skip(1))
     }
 
     /// Parses an explicit iterator (for tests).
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+    pub fn from_args<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut map = HashMap::new();
         for arg in iter {
             if let Some((k, v)) = arg.split_once('=') {
@@ -44,7 +44,21 @@ impl Args {
 
     /// String argument with default.
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.map.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.map
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// The shared `telemetry=json|pretty|off` argument (default `off`).
+    /// When `off`, collection on the global registry is disabled so the
+    /// measured experiment pays no telemetry cost.
+    pub fn telemetry(&self) -> String {
+        let mode = self.get_str("telemetry", "off");
+        if mode == "off" {
+            archexplorer::telemetry::global().set_enabled(false);
+        }
+        mode
     }
 }
 
@@ -54,7 +68,7 @@ mod tests {
 
     #[test]
     fn parses_and_defaults() {
-        let a = Args::from_iter(["budget=120".to_string(), "suite=spec17".to_string()]);
+        let a = Args::from_args(["budget=120".to_string(), "suite=spec17".to_string()]);
         assert_eq!(a.get_u64("budget", 10), 120);
         assert_eq!(a.get_u64("missing", 7), 7);
         assert_eq!(a.get_str("suite", "spec06"), "spec17");

@@ -16,6 +16,7 @@ use archx_bench::{Args, Table};
 
 fn main() {
     let args = Args::from_env();
+    let telemetry_mode = args.telemetry();
     let budget = args.get_u64("budget", 240);
     let instrs = args.get_usize("instrs", 12_000);
     let seed = args.get_u64("seed", 1);
@@ -72,5 +73,10 @@ fn main() {
             log.records.len().to_string(),
         ]);
     }
-    println!("\nArchExplorer ablations ({budget} sims, {} workloads):\n{}", suite.len(), t.to_text());
+    println!(
+        "\nArchExplorer ablations ({budget} sims, {} workloads):\n{}",
+        suite.len(),
+        t.to_text()
+    );
+    archx_bench::emit::emit_telemetry(&telemetry_mode);
 }

@@ -17,16 +17,25 @@ use archx_bench::{Args, Table};
 
 fn main() {
     let args = Args::from_env();
+    let telemetry_mode = args.telemetry();
     let instrs = args.get_usize("instrs", 30_000);
     // Branch-hostile workloads show the algorithm differences best.
     let suite: Vec<Workload> = spec06_suite()
         .into_iter()
         .filter(|w| {
-            ["sjeng", "gcc", "bzip2", "h264"].iter().any(|n| w.id.0.contains(n))
+            ["sjeng", "gcc", "bzip2", "h264"]
+                .iter()
+                .any(|n| w.id.0.contains(n))
         })
         .collect();
 
-    let mut t = Table::new(["workload", "predictor", "bp_miss_%", "ipc", "bpred_contrib_%"]);
+    let mut t = Table::new([
+        "workload",
+        "predictor",
+        "bp_miss_%",
+        "ipc",
+        "bpred_contrib_%",
+    ]);
     for w in &suite {
         let trace = w.generate(instrs, 1);
         for kind in [BpKind::Bimodal, BpKind::GShare, BpKind::Tournament] {
@@ -45,8 +54,12 @@ fn main() {
             ]);
         }
     }
-    println!("Branch-predictor algorithm study ({instrs} instrs per workload)\n{}", t.to_text());
+    println!(
+        "Branch-predictor algorithm study ({instrs} instrs per workload)\n{}",
+        t.to_text()
+    );
     println!("expected: tournament ≤ gshare ≤ bimodal misprediction rates at equal storage;");
     println!("the BPred bottleneck contribution falls with the better algorithm — the lever the");
     println!("paper says capacity alone cannot provide.");
+    archx_bench::emit::emit_telemetry(&telemetry_mode);
 }

@@ -16,6 +16,7 @@ use archx_bench::{Args, Table};
 
 fn main() {
     let args = Args::from_env();
+    let telemetry_mode = args.telemetry();
     let budget = args.get_u64("budget", 240);
     let instrs = args.get_usize("instrs", 15_000);
     let power_cap: f64 = args.get_str("power_cap", "0.15").parse().unwrap_or(0.15);
@@ -35,7 +36,13 @@ fn main() {
     };
 
     eprintln!("constrained DSE: max IPC s.t. power <= {power_cap} W, area <= {area_cap} mm²");
-    let mut t = Table::new(["method", "best_feasible_ipc", "power_w", "area_mm2", "feasible_designs"]);
+    let mut t = Table::new([
+        "method",
+        "best_feasible_ipc",
+        "power_w",
+        "area_mm2",
+        "feasible_designs",
+    ]);
     for (name, constrained) in [("ArchExplorer(constrained)", true), ("Random", false)] {
         let ev = Evaluator::new(suite.clone(), instrs, 1);
         let log = if constrained {
@@ -53,9 +60,9 @@ fn main() {
             .iter()
             .filter(|r| objective.feasible(&r.ppa))
             .collect();
-        let best = feasible.iter().max_by(|a, b| {
-            a.ppa.ipc.partial_cmp(&b.ppa.ipc).expect("finite ipc")
-        });
+        let best = feasible
+            .iter()
+            .max_by(|a, b| a.ppa.ipc.partial_cmp(&b.ppa.ipc).expect("finite ipc"));
         match best {
             Some(rec) => t.row([
                 name.to_string(),
@@ -73,7 +80,12 @@ fn main() {
             ]),
         };
     }
-    println!("\nConstrained exploration ({budget} sims, {} workloads)\n{}", suite.len(), t.to_text());
+    println!(
+        "\nConstrained exploration ({budget} sims, {} workloads)\n{}",
+        suite.len(),
+        t.to_text()
+    );
     println!("expected: the constrained bottleneck search finds a faster design inside the");
     println!("budgets than random sampling, and spends most of its budget on feasible points.");
+    archx_bench::emit::emit_telemetry(&telemetry_mode);
 }

@@ -17,6 +17,7 @@ use archx_bench::{Args, Table};
 
 fn main() {
     let args = Args::from_env();
+    let telemetry_mode = args.telemetry();
     let instrs = args.get_usize("instrs", 30_000);
     let suite = spec17_suite();
 
@@ -43,17 +44,26 @@ fn main() {
         let mut deg = induce(build_deg(&spec));
         let path = archexplorer::deg::critical::critical_path_mut(&mut deg);
         let rep = archexplorer::deg::bottleneck::analyze(&deg, &path);
-        assert_eq!(path.total_delay, spec.trace.cycles, "exactness holds under speculation");
+        assert_eq!(
+            path.total_delay, spec.trace.cycles,
+            "exactness holds under speculation"
+        );
         t.row([
             w.id.0.to_string(),
             format!("{:.4}", cons.stats.ipc()),
             format!("{:.4}", spec.stats.ipc()),
-            format!("{:+.2}", 100.0 * (spec.stats.ipc() / cons.stats.ipc() - 1.0)),
+            format!(
+                "{:+.2}",
+                100.0 * (spec.stats.ipc() / cons.stats.ipc() - 1.0)
+            ),
             spec.stats.mem_dep_violations.to_string(),
             format!("{:.3}", 100.0 * rep.contribution(BottleneckSource::MemDep)),
         ]);
     }
-    println!("Memory-dependence speculation extension (SPEC17-like, {instrs} instrs)\n{}", t.to_text());
+    println!(
+        "Memory-dependence speculation extension (SPEC17-like, {instrs} instrs)\n{}",
+        t.to_text()
+    );
     println!(
         "suite average IPC: conservative {:.4} -> store-sets {:.4} ({:+.2}%)",
         c_sum / suite.len() as f64,
@@ -62,4 +72,5 @@ fn main() {
     );
     println!("reading: speculation recovers load parallelism lost to unknown store addresses;");
     println!("violations are replays, visible as the MemDep source in the bottleneck report.");
+    archx_bench::emit::emit_telemetry(&telemetry_mode);
 }

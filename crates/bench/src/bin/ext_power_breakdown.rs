@@ -14,6 +14,7 @@ use archx_bench::{Args, Table};
 
 fn main() {
     let args = Args::from_env();
+    let telemetry_mode = args.telemetry();
     let instrs = args.get_usize("instrs", 30_000);
     let name = args.get_str("workload", "x264");
     let suite = spec17_suite();
@@ -45,7 +46,15 @@ fn main() {
             format!("{:.1}", 100.0 * w / total),
         ]);
     }
-    t.row(["TOTAL".to_string(), format!("{total:.4}"), "100.0".to_string()]);
+    t.row([
+        "TOTAL".to_string(),
+        format!("{total:.4}"),
+        "100.0".to_string(),
+    ]);
     println!("{}", t.to_text());
-    println!("headline model power: {:.4} W (breakdown splits the same energy heuristically)", ppa.power_w);
+    println!(
+        "headline model power: {:.4} W (breakdown splits the same energy heuristically)",
+        ppa.power_w
+    );
+    archx_bench::emit::emit_telemetry(&telemetry_mode);
 }

@@ -17,12 +17,15 @@ use archx_bench::{Args, Table};
 
 fn main() {
     let args = Args::from_env();
+    let telemetry_mode = args.telemetry();
     let instrs = args.get_usize("instrs", 30_000);
     // Memory-sensitive workloads.
     let suite: Vec<Workload> = spec06_suite()
         .into_iter()
         .filter(|w| {
-            ["mcf", "soplex", "dealII", "libquantum"].iter().any(|n| w.id.0.contains(n))
+            ["mcf", "soplex", "dealII", "libquantum"]
+                .iter()
+                .any(|n| w.id.0.contains(n))
         })
         .collect();
 
@@ -45,8 +48,12 @@ fn main() {
             ]);
         }
     }
-    println!("Cache replacement-policy study ({instrs} instrs per workload)\n{}", t.to_text());
+    println!(
+        "Cache replacement-policy study ({instrs} instrs per workload)\n{}",
+        t.to_text()
+    );
     println!("expected: LRU ≤ FIFO ≈ random miss rates; the differences are small next to");
     println!("capacity effects — matching the paper's point that pattern-hostile workloads");
     println!("need smarter policies, not just bigger arrays.");
+    archx_bench::emit::emit_telemetry(&telemetry_mode);
 }

@@ -18,6 +18,7 @@ use archx_bench::{Args, Table};
 
 fn main() {
     let args = Args::from_env();
+    let telemetry_mode = args.telemetry();
     let instrs = args.get_usize("instrs", 200_000);
     let interval = args.get_usize("interval", 10_000);
     let k = args.get_usize("k", 4);
@@ -45,29 +46,56 @@ fn main() {
         (
             "compute<->memory",
             PhasedWorkload::new(vec![
-                Phase { spec: compute, instrs: 10_000 },
-                Phase { spec: memory, instrs: 10_000 },
+                Phase {
+                    spec: compute,
+                    instrs: 10_000,
+                },
+                Phase {
+                    spec: memory,
+                    instrs: 10_000,
+                },
             ]),
         ),
         (
             "three-phase",
             PhasedWorkload::new(vec![
-                Phase { spec: compute, instrs: 8_000 },
-                Phase { spec: branchy, instrs: 8_000 },
-                Phase { spec: memory, instrs: 4_000 },
+                Phase {
+                    spec: compute,
+                    instrs: 8_000,
+                },
+                Phase {
+                    spec: branchy,
+                    instrs: 8_000,
+                },
+                Phase {
+                    spec: memory,
+                    instrs: 4_000,
+                },
             ]),
         ),
         (
             "long-kernel",
             PhasedWorkload::new(vec![
-                Phase { spec: branchy, instrs: 3_000 },
-                Phase { spec: compute, instrs: 30_000 },
+                Phase {
+                    spec: branchy,
+                    instrs: 3_000,
+                },
+                Phase {
+                    spec: compute,
+                    instrs: 30_000,
+                },
             ]),
         ),
     ];
 
     let core = OooCore::new(MicroArch::baseline());
-    let mut t = Table::new(["program", "full_cpi", "simpoint_cpi", "error_%", "sims_saved_%"]);
+    let mut t = Table::new([
+        "program",
+        "full_cpi",
+        "simpoint_cpi",
+        "error_%",
+        "sims_saved_%",
+    ]);
     for (name, program) in &programs {
         let trace = program.generate(instrs, 1);
         let full = core.run(&trace);
@@ -87,7 +115,11 @@ fn main() {
                 simulated += hi - lo;
                 let r = core.run(&trace[lo..hi]);
                 let end = r.trace.events.last().expect("non-empty").c;
-                let begin = if pre > 0 { r.trace.events[pre - 1].c } else { 0 };
+                let begin = if pre > 0 {
+                    r.trace.events[pre - 1].c
+                } else {
+                    0
+                };
                 sp.weight * (end - begin) as f64 / sp.len as f64
             })
             .sum();
@@ -96,7 +128,10 @@ fn main() {
             format!("{full_cpi:.4}"),
             format!("{est_cpi:.4}"),
             format!("{:+.2}", 100.0 * (est_cpi / full_cpi - 1.0)),
-            format!("{:.1}", 100.0 * (1.0 - simulated as f64 / trace.len() as f64)),
+            format!(
+                "{:.1}",
+                100.0 * (1.0 - simulated as f64 / trace.len() as f64)
+            ),
         ]);
     }
     println!(
@@ -107,4 +142,5 @@ fn main() {
     println!("sampling methodology the paper's evaluation rests on. DRAM-dominated phases with");
     println!("high inter-interval variance (three-phase above) need more clusters or longer");
     println!("windows, the same trade real SimPoint makes.");
+    archx_bench::emit::emit_telemetry(&telemetry_mode);
 }

@@ -17,6 +17,7 @@ use std::collections::HashSet;
 
 fn main() {
     let args = Args::from_env();
+    let telemetry_mode = args.telemetry();
     let instrs = args.get_usize("instrs", 20_000);
     let steps = args.get_usize("steps", 5);
 
@@ -34,7 +35,7 @@ fn main() {
     arch.rob_entries = 128;
     arch.iq_entries = 48;
 
-    let mut frozen: HashSet<ParamId> = HashSet::new();
+    let frozen: HashSet<ParamId> = HashSet::new();
     let opts = ReassignOptions::default();
     let mut prev_tradeoff = None::<f64>;
     for step in 0..=steps {
@@ -68,4 +69,5 @@ fn main() {
         }
         arch = r.arch;
     }
+    archx_bench::emit::emit_telemetry(&telemetry_mode);
 }

@@ -99,7 +99,10 @@ fn run_suite(name: &str, suite: Vec<Workload>, cfg: &CampaignConfig) {
         }
         t.row(row);
     }
-    println!("\nFigure 12 [{name}]: Pareto hypervolume vs simulations\n{}", t.to_text());
+    println!(
+        "\nFigure 12 [{name}]: Pareto hypervolume vs simulations\n{}",
+        t.to_text()
+    );
 
     // Shape check: where does ArchExplorer stand at the final budget?
     let finals: Vec<(String, f64)> = curves
@@ -123,6 +126,7 @@ fn run_suite(name: &str, suite: Vec<Workload>, cfg: &CampaignConfig) {
 
 fn main() {
     let args = Args::from_env();
+    let telemetry_mode = args.telemetry();
     let cfg = CampaignConfig {
         sim_budget: args.get_u64("budget", 360),
         instrs_per_workload: args.get_usize("instrs", 20_000),
@@ -157,4 +161,5 @@ fn main() {
             run_suite("SPEC17", trim(spec17_suite()), &cfg);
         }
     }
+    archx_bench::emit::emit_telemetry(&telemetry_mode);
 }

@@ -17,6 +17,7 @@ use archx_bench::{Args, Table};
 
 fn main() {
     let args = Args::from_env();
+    let telemetry_mode = args.telemetry();
     let cfg = CampaignConfig {
         sim_budget: args.get_u64("budget", 360),
         instrs_per_workload: args.get_usize("instrs", 20_000),
@@ -38,7 +39,11 @@ fn main() {
         Method::ArchRanker,
         Method::BoomExplorer,
     ];
-    eprintln!("[SPEC06] running {} methods x {} sims...", methods.len(), cfg.sim_budget);
+    eprintln!(
+        "[SPEC06] running {} methods x {} sims...",
+        methods.len(),
+        cfg.sim_budget
+    );
     let campaign = Campaign::run(&methods, &DesignSpace::table4(), &suite, &cfg);
 
     println!("Figure 13 data: Pareto-frontier points per method (CSV)");
@@ -68,7 +73,10 @@ fn main() {
             tr.len().to_string(),
             format!("{mean:.4}"),
             format!("{:.4}", tr.iter().copied().fold(f64::INFINITY, f64::min)),
-            format!("{:.4}", tr.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
+            format!(
+                "{:.4}",
+                tr.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            ),
         ]);
     }
     println!("{}", s.to_text());
@@ -86,4 +94,5 @@ fn main() {
             );
         }
     }
+    archx_bench::emit::emit_telemetry(&telemetry_mode);
 }

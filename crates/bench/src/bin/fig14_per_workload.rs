@@ -15,6 +15,7 @@ use archx_bench::{Args, Table};
 
 fn main() {
     let args = Args::from_env();
+    let telemetry_mode = args.telemetry();
     let cfg = CampaignConfig {
         sim_budget: args.get_u64("budget", 240),
         instrs_per_workload: args.get_usize("instrs", 20_000),
@@ -54,12 +55,15 @@ fn main() {
         let mut t = Table::new(header);
         let evals: Vec<_> = best
             .iter()
-            .map(|(_, arch)| evaluator.evaluate(arch, false))
+            .map(|(_, arch)| evaluator.evaluate(arch))
             .collect();
         let mut wins = vec![0usize; best.len()];
         for (wi, wl) in suite.iter().enumerate() {
             let mut row = vec![wl.id.0.to_string()];
-            let tr: Vec<f64> = evals.iter().map(|e| e.per_workload[wi].tradeoff()).collect();
+            let tr: Vec<f64> = evals
+                .iter()
+                .map(|e| e.per_workload[wi].tradeoff())
+                .collect();
             let top = tr
                 .iter()
                 .enumerate()
@@ -78,4 +82,5 @@ fn main() {
             println!("  {m}: best on {w}/{} workloads", suite.len());
         }
     }
+    archx_bench::emit::emit_telemetry(&telemetry_mode);
 }

@@ -68,6 +68,7 @@ fn pca2(features: &[Vec<f64>]) -> Vec<(f64, f64)> {
 
 fn main() {
     let args = Args::from_env();
+    let telemetry_mode = args.telemetry();
     let designs = args.get_usize("designs", 200);
     let instrs = args.get_usize("instrs", 20_000);
     let seed = args.get_u64("seed", 1);
@@ -84,7 +85,7 @@ fn main() {
     let mut ppas = Vec::with_capacity(designs);
     for _ in 0..designs {
         let arch = space.random(&mut rng);
-        let e = evaluator.evaluate(&arch, false);
+        let e = evaluator.evaluate(&arch);
         feats.push(space.features(&arch));
         ppas.push(e.ppa);
     }
@@ -134,15 +135,21 @@ fn main() {
         let mut ss_res = 0.0;
         let mut ss_tot = 0.0;
         for (row, &y) in feats.iter().zip(&ys) {
-            let pred = beta[0]
-                + row.iter().zip(&beta[1..]).map(|(a, b)| a * b).sum::<f64>();
+            let pred = beta[0] + row.iter().zip(&beta[1..]).map(|(a, b)| a * b).sum::<f64>();
             ss_res += (y - pred) * (y - pred);
             ss_tot += (y - mean) * (y - mean);
         }
         1.0 - ss_res / ss_tot.max(1e-12)
     };
     println!("linear-in-parameters R² of each metric (1.0 = perfectly flat/linear space):");
-    println!("  perf : {:.3} (rugged — low)", linear_r2(&|p: &PpaResult| p.ipc));
+    println!(
+        "  perf : {:.3} (rugged — low)",
+        linear_r2(&|p: &PpaResult| p.ipc)
+    );
     println!("  power: {:.3}", linear_r2(&|p: &PpaResult| p.power_w));
-    println!("  area : {:.3} (flat — near-linear in parameters)", linear_r2(&|p: &PpaResult| p.area_mm2));
+    println!(
+        "  area : {:.3} (flat — near-linear in parameters)",
+        linear_r2(&|p: &PpaResult| p.area_mm2)
+    );
+    archx_bench::emit::emit_telemetry(&telemetry_mode);
 }

@@ -17,6 +17,7 @@ use archx_bench::{Args, Table};
 
 fn main() {
     let args = Args::from_env();
+    let telemetry_mode = args.telemetry();
     let instrs = args.get_usize("instrs", 30_000);
     let session = Session::builder()
         .suite(Suite::Spec17)
@@ -50,7 +51,13 @@ fn main() {
         (ParamId::Width, "Width x2"),
     ];
 
-    let mut t = Table::new(["configuration", "perf_%", "power_%", "area_%", "ppa_tradeoff_%"]);
+    let mut t = Table::new([
+        "configuration",
+        "perf_%",
+        "power_%",
+        "area_%",
+        "ppa_tradeoff_%",
+    ]);
     for &(param, label) in doubled {
         let mut arch = baseline;
         param.set(&mut arch, param.get(&baseline) * 2);
@@ -66,6 +73,12 @@ fn main() {
             format!("{:.2}", 100.0 * ppa.tradeoff() / base.tradeoff()),
         ]);
     }
-    println!("Figure 2: each metric as % of baseline (100 = unchanged)\n{}", t.to_text());
-    println!("expected shape: IntRF x2 lifts perf & trade-off; FpALU/FpMultDiv x2 only add power/area.");
+    println!(
+        "Figure 2: each metric as % of baseline (100 = unchanged)\n{}",
+        t.to_text()
+    );
+    println!(
+        "expected shape: IntRF x2 lifts perf & trade-off; FpALU/FpMultDiv x2 only add power/area."
+    );
+    archx_bench::emit::emit_telemetry(&telemetry_mode);
 }

@@ -21,13 +21,21 @@ use archx_bench::{Args, Table};
 
 fn main() {
     let args = Args::from_env();
+    let telemetry_mode = args.telemetry();
     let instrs = args.get_usize("instrs", 30_000);
     let suite = spec06_suite();
     let arch = MicroArch::baseline();
     let core = OooCore::new(arch);
 
     // --- Error 1: critical-path length accuracy, per workload ---
-    let mut t = Table::new(["workload", "actual_cycles", "static_estimate", "static_err_%", "new_deg", "new_err_%"]);
+    let mut t = Table::new([
+        "workload",
+        "actual_cycles",
+        "static_estimate",
+        "static_err_%",
+        "new_deg",
+        "new_err_%",
+    ]);
     let mut worst: (f64, String) = (0.0, String::new());
     for w in &suite {
         let r = core.run(&w.generate(instrs, 1));
@@ -49,7 +57,10 @@ fn main() {
             format!("{new_err:+.2}"),
         ]);
     }
-    println!("Figure 5(a): critical-path length vs simulated runtime\n{}", t.to_text());
+    println!(
+        "Figure 5(a): critical-path length vs simulated runtime\n{}",
+        t.to_text()
+    );
     println!(
         "worst static-formulation error: {:+.2}% on {} (paper reports -25.71% on 444.namd);",
         worst.0, worst.1
@@ -69,11 +80,18 @@ fn main() {
     let new_rep = bottleneck::analyze(&deg, &path);
 
     let static_port = static_rep.contribution(BottleneckSource::RdWrPort) * est as f64;
-    let new_port =
-        new_rep.contribution(BottleneckSource::RdWrPort) * new_rep.length as f64;
+    let new_port = new_rep.contribution(BottleneckSource::RdWrPort) * new_rep.length as f64;
     println!("Figure 5(b): read/write-port contribution on 456.hmmer-like");
-    println!("  static formulation : {:.0} cycles ({:.2}% of its path)", static_port, 100.0 * static_rep.contribution(BottleneckSource::RdWrPort));
-    println!("  new formulation    : {:.0} cycles ({:.2}% of the runtime)", new_port, 100.0 * new_rep.contribution(BottleneckSource::RdWrPort));
+    println!(
+        "  static formulation : {:.0} cycles ({:.2}% of its path)",
+        static_port,
+        100.0 * static_rep.contribution(BottleneckSource::RdWrPort)
+    );
+    println!(
+        "  new formulation    : {:.0} cycles ({:.2}% of the runtime)",
+        new_port,
+        100.0 * new_rep.contribution(BottleneckSource::RdWrPort)
+    );
     if new_port > 0.0 {
         println!(
             "  static over-estimate: {:+.1}% (paper reports +125%)",
@@ -82,4 +100,5 @@ fn main() {
     } else {
         println!("  static over-estimate: all {static_port:.0} attributed cycles are spurious (new DEG sees full overlap)");
     }
+    archx_bench::emit::emit_telemetry(&telemetry_mode);
 }

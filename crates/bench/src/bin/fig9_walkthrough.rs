@@ -6,8 +6,8 @@
 //! cargo run -p archx-bench --release --bin fig9_walkthrough
 //! ```
 
-use archexplorer::deg::prelude::*;
 use archexplorer::deg::bottleneck;
+use archexplorer::deg::prelude::*;
 use archexplorer::sim::isa::{Instruction, OpClass, Reg};
 use archexplorer::sim::{MicroArch, OooCore};
 
@@ -16,17 +16,47 @@ use archexplorer::sim::{MicroArch, OooCore};
 fn snippet() -> Vec<Instruction> {
     let pc = |k: u64| 0x100 + 4 * k;
     vec![
-        Instruction::op(pc(0), OpClass::IntAlu, [Some(Reg::int(2)), None], Some(Reg::int(10))),
+        Instruction::op(
+            pc(0),
+            OpClass::IntAlu,
+            [Some(Reg::int(2)), None],
+            Some(Reg::int(10)),
+        ),
         Instruction::branch(pc(1), Reg::int(10), true, pc(3)),
         Instruction::load(pc(3), 0x4_0000, Reg::int(1), Reg::int(11)), // cold miss
-        Instruction::op(pc(4), OpClass::IntAlu, [Some(Reg::int(11)), None], Some(Reg::int(12))),
+        Instruction::op(
+            pc(4),
+            OpClass::IntAlu,
+            [Some(Reg::int(11)), None],
+            Some(Reg::int(12)),
+        ),
         Instruction::load(pc(5), 0x8_0000, Reg::int(1), Reg::int(13)), // cold miss
-        Instruction::op(pc(6), OpClass::IntAlu, [Some(Reg::int(13)), None], Some(Reg::int(14))),
+        Instruction::op(
+            pc(6),
+            OpClass::IntAlu,
+            [Some(Reg::int(13)), None],
+            Some(Reg::int(14)),
+        ),
         Instruction::load(pc(7), 0x4_0008, Reg::int(1), Reg::int(15)), // hits line of I3
-        Instruction::op(pc(8), OpClass::IntAlu, [Some(Reg::int(15)), Some(Reg::int(14))], Some(Reg::int(16))),
+        Instruction::op(
+            pc(8),
+            OpClass::IntAlu,
+            [Some(Reg::int(15)), Some(Reg::int(14))],
+            Some(Reg::int(16)),
+        ),
         Instruction::store(pc(9), 0x4_0010, Reg::int(1), Reg::int(16)),
-        Instruction::op(pc(10), OpClass::IntAlu, [Some(Reg::int(16)), None], Some(Reg::int(17))),
-        Instruction::op(pc(11), OpClass::IntAlu, [Some(Reg::int(17)), None], Some(Reg::int(18))),
+        Instruction::op(
+            pc(10),
+            OpClass::IntAlu,
+            [Some(Reg::int(16)), None],
+            Some(Reg::int(17)),
+        ),
+        Instruction::op(
+            pc(11),
+            OpClass::IntAlu,
+            [Some(Reg::int(17)), None],
+            Some(Reg::int(18)),
+        ),
     ]
 }
 

@@ -14,6 +14,7 @@ use archx_bench::{Args, Table};
 
 fn main() {
     let args = Args::from_env();
+    let telemetry_mode = args.telemetry();
     let instrs = args.get_usize("instrs", 50_000);
     let session = Session::builder()
         .suite(Suite::Spec17)
@@ -32,7 +33,10 @@ fn main() {
                 arch.local_predictor, arch.global_predictor, arch.choice_predictor
             ),
         ])
-        .row(["RAS / BTB".to_string(), format!("{} / {}", arch.ras_entries, arch.btb_entries)])
+        .row([
+            "RAS / BTB".to_string(),
+            format!("{} / {}", arch.ras_entries, arch.btb_entries),
+        ])
         .row([
             "ROB/IQ/LQ/SQ".to_string(),
             format!(
@@ -40,7 +44,10 @@ fn main() {
                 arch.rob_entries, arch.iq_entries, arch.lq_entries, arch.sq_entries
             ),
         ])
-        .row(["Int RF / Fp RF".to_string(), format!("{} / {}", arch.int_rf, arch.fp_rf)])
+        .row([
+            "Int RF / Fp RF".to_string(),
+            format!("{} / {}", arch.int_rf, arch.fp_rf),
+        ])
         .row([
             "FUs (IntALU/IntMD/FpALU/FpMD/Port)".to_string(),
             format!(
@@ -60,22 +67,26 @@ fn main() {
 
     let eval = session.evaluate(&arch);
     let mut out = Table::new(["metric", "measured", "paper"]);
-    out.row(["IPC".to_string(), format!("{:.4}", eval.ppa.ipc), "0.9418".to_string()])
-        .row([
-            "Power (W)".to_string(),
-            format!("{:.4}", eval.ppa.power_w),
-            "0.2027".to_string(),
-        ])
-        .row([
-            "Area (mm²)".to_string(),
-            format!("{:.4}", eval.ppa.area_mm2),
-            "5.6609".to_string(),
-        ])
-        .row([
-            "Perf²/(Power×Area)".to_string(),
-            format!("{:.4}", eval.ppa.tradeoff()),
-            "-".to_string(),
-        ]);
+    out.row([
+        "IPC".to_string(),
+        format!("{:.4}", eval.ppa.ipc),
+        "0.9418".to_string(),
+    ])
+    .row([
+        "Power (W)".to_string(),
+        format!("{:.4}", eval.ppa.power_w),
+        "0.2027".to_string(),
+    ])
+    .row([
+        "Area (mm²)".to_string(),
+        format!("{:.4}", eval.ppa.area_mm2),
+        "5.6609".to_string(),
+    ])
+    .row([
+        "Perf²/(Power×Area)".to_string(),
+        format!("{:.4}", eval.ppa.tradeoff()),
+        "-".to_string(),
+    ]);
     println!(
         "measured on {} SPEC17-like workloads, {} instrs each:\n{}",
         session.suite().len(),
@@ -93,4 +104,5 @@ fn main() {
         ]);
     }
     println!("{}", t.to_text());
+    archx_bench::emit::emit_telemetry(&telemetry_mode);
 }

@@ -18,6 +18,7 @@ use archx_bench::{Args, Table};
 
 fn main() {
     let args = Args::from_env();
+    let telemetry_mode = args.telemetry();
     let cfg = CampaignConfig {
         sim_budget: args.get_u64("budget", 360),
         instrs_per_workload: args.get_usize("instrs", 20_000),
@@ -41,7 +42,11 @@ fn main() {
             Method::BoomExplorer,
             Method::ArchExplorer,
         ];
-        eprintln!("[{name}] running {} methods x {} sims...", methods.len(), cfg.sim_budget);
+        eprintln!(
+            "[{name}] running {} methods x {} sims...",
+            methods.len(),
+            cfg.sim_budget
+        );
         let campaign = Campaign::run(&methods, &space_ref(), &suite, &cfg);
 
         let r = RefPoint::default();
@@ -62,20 +67,16 @@ fn main() {
             .unwrap_or(cfg.sim_budget);
         let ranker_hv = campaign.hv_at("ArchRanker", &r, budget_x).unwrap_or(0.0);
 
-        let mut t = Table::new([
-            "method",
-            "sims@target",
-            "ratio",
-            "hv@budget",
-            "ratio",
-        ]);
+        let mut t = Table::new(["method", "sims@target", "ratio", "hv@budget", "ratio"]);
         for m in ["ArchRanker", "AdaBoost", "BOOM-Explorer", "ArchExplorer"] {
             let sims = campaign.sims_to_reach(m, &r, target, step);
             let hv = campaign.hv_at(m, &r, budget_x).unwrap_or(0.0);
             t.row([
                 m.to_string(),
                 sims.map_or("never".to_string(), |s| s.to_string()),
-                sims.map_or("-".to_string(), |s| format!("{:.4}", s as f64 / ranker_sims as f64)),
+                sims.map_or("-".to_string(), |s| {
+                    format!("{:.4}", s as f64 / ranker_sims as f64)
+                }),
                 format!("{hv:.4}"),
                 format!("{:.4}", hv / ranker_hv.max(1e-12)),
             ]);
@@ -86,6 +87,7 @@ fn main() {
         );
         println!("{}", t.to_text());
     }
+    archx_bench::emit::emit_telemetry(&telemetry_mode);
 }
 
 fn space_ref() -> DesignSpace {

@@ -22,6 +22,7 @@ use std::time::Instant;
 
 fn main() {
     let args = Args::from_env();
+    let telemetry_mode = args.telemetry();
     let instrs = args.get_usize("instrs", 30_000);
     let suite = spec17_suite();
     let arch = MicroArch::baseline();
@@ -67,7 +68,10 @@ fn main() {
             format!("{ana_ms:.1}"),
         ]);
     }
-    println!("Footnote-5 graph statistics ({instrs} instrs per workload)\n{}", t.to_text());
+    println!(
+        "Footnote-5 graph statistics ({instrs} instrs per workload)\n{}",
+        t.to_text()
+    );
     println!(
         "induced DEG vs Calipers: {:+.2}% vertices, {:+.2}% edges per vertex",
         100.0 * (v_sum / cv_sum - 1.0),
@@ -77,9 +81,8 @@ fn main() {
         "analysis runtime: {:.2}% of this simulator's runtime (paper: 2.24% of gem5's)",
         100.0 * ana_ms_sum / sim_ms_sum
     );
-    println!(
-        "note: gem5 runs ~2-3 orders of magnitude slower than this cycle-level model, so the"
-    );
+    println!("note: gem5 runs ~2-3 orders of magnitude slower than this cycle-level model, so the");
     println!("      same absolute analysis cost is negligible against the paper's simulations.");
     println!("(paper: +39.59% vertices, -51.72% edges; direction should match)");
+    archx_bench::emit::emit_telemetry(&telemetry_mode);
 }

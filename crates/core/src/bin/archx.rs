@@ -9,19 +9,72 @@
 //! ```
 //!
 //! Parameter overrides use the Table 4 names (`Rob=128`, `IntRf=160`,
-//! `Width=6`, `DCacheKb=64`, …).
+//! `Width=6`, `DCacheKb=64`, …). Every command accepts
+//! `--telemetry json|pretty|off` (default `off`): after the command runs,
+//! the process-wide telemetry report (span timers like `eval/simulate` and
+//! `eval/deg/build`, counters like `dse/iteration`, latency histograms) is
+//! printed to stderr as JSON or an aligned table.
 
 use archexplorer::deg::prelude::*;
-use archexplorer::dse::campaign::{run_method, CampaignConfig};
+use archexplorer::dse::campaign::{run_method_observed, CampaignConfig};
 use archexplorer::prelude::*;
 use archexplorer::sim::extern_trace;
+use archexplorer::telemetry;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 fn parse_kv(args: &[String]) -> HashMap<String, String> {
     args.iter()
-        .filter_map(|a| a.split_once('=').map(|(k, v)| (k.to_string(), v.to_string())))
+        .filter_map(|a| {
+            a.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+        })
         .collect()
+}
+
+/// How the CLI renders the telemetry report after the command finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TelemetryMode {
+    Off,
+    Json,
+    Pretty,
+}
+
+impl TelemetryMode {
+    fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "off" => Ok(TelemetryMode::Off),
+            "json" => Ok(TelemetryMode::Json),
+            "pretty" => Ok(TelemetryMode::Pretty),
+            other => Err(format!(
+                "--telemetry expects json|pretty|off, got `{other}`"
+            )),
+        }
+    }
+}
+
+/// Extracts `--telemetry MODE` / `--telemetry=MODE` / `telemetry=MODE`
+/// from the argument list, returning the remaining arguments and the mode.
+fn extract_telemetry(args: &[String]) -> Result<(Vec<String>, TelemetryMode), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut mode = TelemetryMode::Off;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--telemetry" {
+            let value = it
+                .next()
+                .ok_or("--telemetry needs a value: json|pretty|off")?;
+            mode = TelemetryMode::parse(value)?;
+        } else if let Some(value) = arg
+            .strip_prefix("--telemetry=")
+            .or_else(|| arg.strip_prefix("telemetry="))
+        {
+            mode = TelemetryMode::parse(value)?;
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((rest, mode))
 }
 
 fn get<T: std::str::FromStr>(kv: &HashMap<String, String>, key: &str, default: T) -> T {
@@ -78,12 +131,17 @@ fn cmd_analyze(kv: &HashMap<String, String>) -> Result<(), String> {
         e.ppa.area_mm2,
         e.ppa.tradeoff()
     );
-    println!("{}", e.report.expect("analysis requested").render());
+    let report = e.report.ok_or("analysis produced no bottleneck report")?;
+    println!("{}", report.render());
     Ok(())
 }
 
 fn cmd_explore(kv: &HashMap<String, String>) -> Result<(), String> {
-    let method = match kv.get("method").map(String::as_str).unwrap_or("archexplorer") {
+    let method = match kv
+        .get("method")
+        .map(String::as_str)
+        .unwrap_or("archexplorer")
+    {
         "archexplorer" => Method::ArchExplorer,
         "random" => Method::Random,
         "adaboost" => Method::AdaBoost,
@@ -103,7 +161,7 @@ fn cmd_explore(kv: &HashMap<String, String>) -> Result<(), String> {
         instrs_per_workload: get(kv, "instrs", 20_000),
         seed: get(kv, "seed", 1),
         trace_seed: None,
-        threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+        threads: archexplorer::dse::default_threads(),
     };
     eprintln!(
         "exploring with {method} for {} simulations ({} workloads x {} instrs)...",
@@ -111,7 +169,23 @@ fn cmd_explore(kv: &HashMap<String, String>) -> Result<(), String> {
         suite.len(),
         cfg.instrs_per_workload
     );
-    let log = run_method(method, &DesignSpace::table4(), &suite, &cfg);
+    // `progress=1` streams one line per evaluated design to stderr.
+    struct StderrProgress;
+    impl telemetry::ProgressSink for StderrProgress {
+        fn on_progress(&self, p: &telemetry::Progress) {
+            eprintln!(
+                "  [{}] sims {}/{}  hv {:.4}  best {:.4}",
+                p.source, p.sims_done, p.sim_budget, p.hypervolume, p.best_tradeoff
+            );
+        }
+    }
+    let sink: Option<std::sync::Arc<dyn telemetry::ProgressSink>> = if get(kv, "progress", 0u8) == 1
+    {
+        Some(std::sync::Arc::new(StderrProgress))
+    } else {
+        None
+    };
+    let log = run_method_observed(method, &DesignSpace::table4(), &suite, &cfg, sink);
     let best = log.best_tradeoff().ok_or("no designs explored")?;
     println!("explored {} designs", log.records.len());
     println!("best by Perf²/(P×A): {}", best.arch);
@@ -140,7 +214,10 @@ fn cmd_explore(kv: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_export(kv: &HashMap<String, String>) -> Result<(), String> {
     let arch = arch_with_overrides(kv)?;
     let suite = workloads_of(kv)?;
-    let name = kv.get("workload").cloned().unwrap_or_else(|| suite[0].id.0.to_string());
+    let name = kv
+        .get("workload")
+        .cloned()
+        .unwrap_or_else(|| suite[0].id.0.to_string());
     let workload = suite
         .iter()
         .find(|w| w.id.0.contains(name.as_str()))
@@ -170,7 +247,10 @@ fn cmd_import(kv: &HashMap<String, String>) -> Result<(), String> {
         path_.total_delay,
         path_.cost
     );
-    println!("{}", archexplorer::deg::bottleneck::analyze(&deg, &path_).render());
+    println!(
+        "{}",
+        archexplorer::deg::bottleneck::analyze(&deg, &path_).render()
+    );
     Ok(())
 }
 
@@ -190,9 +270,22 @@ fn cmd_space() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (args, mode) = match extract_telemetry(&raw) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if mode == TelemetryMode::Off {
+        telemetry::global().set_enabled(false);
+    }
     let Some(cmd) = args.first() else {
-        eprintln!("usage: archx <analyze|explore|export|import|space> [key=value ...]");
+        eprintln!(
+            "usage: archx <analyze|explore|export|import|space> [key=value ...] \
+             [--telemetry json|pretty|off]"
+        );
         return ExitCode::FAILURE;
     };
     let kv = parse_kv(&args[1..]);
@@ -204,6 +297,11 @@ fn main() -> ExitCode {
         "space" => cmd_space(),
         other => Err(format!("unknown command `{other}`")),
     };
+    match mode {
+        TelemetryMode::Off => {}
+        TelemetryMode::Json => eprintln!("{}", telemetry::global().report().to_json()),
+        TelemetryMode::Pretty => eprint!("{}", telemetry::global().report().to_pretty()),
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -17,6 +17,7 @@
 //! | power/area model | `archx-power` | [`power`] |
 //! | DEG + critical path | `archx-deg` | [`deg`] |
 //! | search + baselines | `archx-dse` | [`dse`] |
+//! | metrics + progress | `archx-telemetry` | [`telemetry`] |
 //!
 //! ## Quickstart
 //!
@@ -30,27 +31,31 @@
 //!     .workload_limit(2)
 //!     .threads(1)
 //!     .build();
-//! let report = session.analyze(&MicroArch::baseline());
+//! let report = session.analyze(&MicroArch::baseline()).expect("analysis");
 //! println!("{}", report.render());
 //!
 //! // Explore: bottleneck-removal-driven DSE under a simulation budget.
-//! let log = session.explore(Method::ArchExplorer, 12);
+//! let log = session.explore(Method::ArchExplorer, 12).expect("exploration");
 //! assert!(!log.records.is_empty());
+//!
+//! // Everything above was measured: dump the telemetry report.
+//! println!("{}", archexplorer::telemetry::global().report().to_pretty());
 //! ```
 
 pub use archx_deg as deg;
 pub use archx_dse as dse;
 pub use archx_power as power;
 pub use archx_sim as sim;
+pub use archx_telemetry as telemetry;
 pub use archx_workloads as workloads;
 
 pub mod session;
 
-pub use session::{Session, SessionBuilder, Suite};
+pub use session::{Session, SessionBuilder, SessionError, Suite};
 
 /// The most commonly used items across all layers.
 pub mod prelude {
-    pub use crate::session::{Session, SessionBuilder, Suite};
+    pub use crate::session::{Session, SessionBuilder, SessionError, Suite};
     pub use archx_deg::prelude::*;
     pub use archx_dse::prelude::*;
     pub use archx_power::{PowerModel, PpaResult};

@@ -2,11 +2,13 @@
 //! analysis and explorers together behind one builder.
 
 use archx_deg::BottleneckReport;
-use archx_dse::campaign::{run_method, CampaignConfig, Method};
+use archx_dse::campaign::{run_method_observed, CampaignConfig, Method};
 use archx_dse::eval::{Analysis, DesignEval, Evaluator, RunLog};
 use archx_dse::space::DesignSpace;
 use archx_sim::MicroArch;
+use archx_telemetry::ProgressSink;
 use archx_workloads::{spec06_suite, spec17_suite, Workload};
+use std::sync::Arc;
 
 /// Which bundled workload suite to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +29,45 @@ impl Suite {
     }
 }
 
+/// Errors surfaced by [`Session`] operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// The evaluator produced no bottleneck report for the requested
+    /// analysis backend (it evaluated, but analysis yielded nothing).
+    MissingReport {
+        /// The analysis backend that was requested.
+        analysis: Analysis,
+    },
+    /// An exploration run evaluated no designs (e.g. a zero budget).
+    EmptyExploration {
+        /// The method that was run.
+        method: Method,
+        /// The simulation budget it was given.
+        sim_budget: u64,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::MissingReport { analysis } => {
+                write!(
+                    f,
+                    "evaluation produced no bottleneck report for {analysis:?}"
+                )
+            }
+            SessionError::EmptyExploration { method, sim_budget } => {
+                write!(
+                    f,
+                    "{method} explored no designs within a budget of {sim_budget} simulations"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
 /// Builder for [`Session`].
 #[derive(Debug, Clone)]
 pub struct SessionBuilder {
@@ -34,6 +75,7 @@ pub struct SessionBuilder {
     workload_limit: usize,
     instrs_per_workload: usize,
     seed: u64,
+    trace_seed: Option<u64>,
     threads: usize,
 }
 
@@ -44,7 +86,8 @@ impl Default for SessionBuilder {
             workload_limit: usize::MAX,
             instrs_per_workload: 10_000,
             seed: 1,
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+            trace_seed: None,
+            threads: archx_dse::default_threads(),
         }
     }
 }
@@ -68,9 +111,16 @@ impl SessionBuilder {
         self
     }
 
-    /// Trace/search seed.
+    /// Search seed (also the trace seed unless [`Self::trace_seed`] is set).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Fixes the workload-trace seed independently of the search seed, so
+    /// seed sweeps measure search variance rather than workload variance.
+    pub fn trace_seed(mut self, seed: u64) -> Self {
+        self.trace_seed = Some(seed);
         self
     }
 
@@ -88,14 +138,19 @@ impl SessionBuilder {
         for wl in &mut suite {
             wl.weight = w;
         }
-        let evaluator =
-            Evaluator::new(suite.clone(), self.instrs_per_workload, self.seed).with_threads(self.threads);
+        let evaluator = Evaluator::new(
+            suite.clone(),
+            self.instrs_per_workload,
+            self.trace_seed.unwrap_or(self.seed),
+        )
+        .with_threads(self.threads);
         Session {
             space: DesignSpace::table4(),
             suite,
             evaluator,
             instrs_per_workload: self.instrs_per_workload,
             seed: self.seed,
+            trace_seed: self.trace_seed,
             threads: self.threads,
         }
     }
@@ -109,6 +164,7 @@ pub struct Session {
     evaluator: Evaluator,
     instrs_per_workload: usize,
     seed: u64,
+    trace_seed: Option<u64>,
     threads: usize,
 }
 
@@ -135,35 +191,63 @@ impl Session {
 
     /// Simulates a design over the suite and returns its PPA evaluation.
     pub fn evaluate(&self, arch: &MicroArch) -> DesignEval {
-        self.evaluator.evaluate(arch, false)
+        self.evaluator.evaluate(arch)
     }
 
     /// Full bottleneck analysis of a design (new DEG, merged over the
     /// suite with Eq. 2 weights).
-    pub fn analyze(&self, arch: &MicroArch) -> BottleneckReport {
+    pub fn analyze(&self, arch: &MicroArch) -> Result<BottleneckReport, SessionError> {
         self.evaluator
             .evaluate_with(arch, Analysis::NewDeg)
             .report
-            .expect("analysis requested")
+            .ok_or(SessionError::MissingReport {
+                analysis: Analysis::NewDeg,
+            })
     }
 
     /// Runs one DSE method for `sim_budget` simulations on a **fresh**
     /// evaluator (so methods never share caches or budgets).
-    pub fn explore(&self, method: Method, sim_budget: u64) -> RunLog {
+    pub fn explore(&self, method: Method, sim_budget: u64) -> Result<RunLog, SessionError> {
+        self.explore_inner(method, sim_budget, None)
+    }
+
+    /// Like [`Session::explore`], but streams per-evaluation progress
+    /// events (simulations done vs. budget, hypervolume, best trade-off)
+    /// to `sink` while the search runs.
+    pub fn explore_observed(
+        &self,
+        method: Method,
+        sim_budget: u64,
+        sink: Arc<dyn ProgressSink>,
+    ) -> Result<RunLog, SessionError> {
+        self.explore_inner(method, sim_budget, Some(sink))
+    }
+
+    fn explore_inner(
+        &self,
+        method: Method,
+        sim_budget: u64,
+        sink: Option<Arc<dyn ProgressSink>>,
+    ) -> Result<RunLog, SessionError> {
         let cfg = CampaignConfig {
             sim_budget,
             instrs_per_workload: self.instrs_per_workload,
             seed: self.seed,
-        trace_seed: None,
+            trace_seed: self.trace_seed,
             threads: self.threads,
         };
-        run_method(method, &self.space, &self.suite, &cfg)
+        let log = run_method_observed(method, &self.space, &self.suite, &cfg, sink);
+        if log.records.is_empty() {
+            return Err(SessionError::EmptyExploration { method, sim_budget });
+        }
+        Ok(log)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use archx_telemetry::CollectingSink;
 
     fn tiny() -> Session {
         Session::builder()
@@ -187,17 +271,71 @@ mod tests {
         let s = tiny();
         let e = s.evaluate(&MicroArch::baseline());
         assert!(e.ppa.ipc > 0.0);
-        let rep = s.analyze(&MicroArch::baseline());
+        let rep = s
+            .analyze(&MicroArch::baseline())
+            .expect("analysis succeeds");
         assert!(rep.length > 0);
     }
 
     #[test]
     fn explore_runs_each_method_fresh() {
         let s = tiny();
-        let log = s.explore(Method::Random, 6);
+        let log = s
+            .explore(Method::Random, 6)
+            .expect("nonzero budget explores");
         assert!(!log.records.is_empty());
         // The session evaluator is untouched by exploration.
         assert_eq!(s.evaluator().sim_count(), 0);
+    }
+
+    #[test]
+    fn explore_with_zero_budget_is_an_error() {
+        let s = tiny();
+        let err = s.explore(Method::Random, 0).expect_err("zero budget");
+        assert_eq!(
+            err,
+            SessionError::EmptyExploration {
+                method: Method::Random,
+                sim_budget: 0
+            }
+        );
+        assert!(err.to_string().contains("budget of 0"));
+    }
+
+    #[test]
+    fn explore_reports_exact_sim_count_through_sink() {
+        let s = tiny(); // 2 workloads => 2 sims per design
+        let sink = Arc::new(CollectingSink::new());
+        let budget = 6;
+        let log = s
+            .explore_observed(Method::Random, budget, sink.clone())
+            .expect("explores");
+        // Random search evaluates whole designs: with 2 workloads and a
+        // budget of 6, exactly 3 designs = 6 simulations are reported.
+        assert_eq!(sink.max_sims_done(), budget);
+        assert_eq!(sink.len(), log.records.len());
+        let last = sink.last().expect("events were emitted");
+        assert_eq!(last.sim_budget, budget);
+        assert_eq!(last.source, Method::Random.to_string());
+        assert!(last.hypervolume > 0.0);
+    }
+
+    #[test]
+    fn trace_seed_decouples_search_from_traces() {
+        let mk = |seed: u64| {
+            Session::builder()
+                .workload_limit(2)
+                .instrs_per_workload(800)
+                .threads(1)
+                .seed(seed)
+                .trace_seed(7)
+                .build()
+        };
+        // Same trace seed: identical workload traces, so the same design
+        // evaluates identically regardless of the search seed.
+        let a = mk(1).evaluate(&MicroArch::baseline());
+        let b = mk(2).evaluate(&MicroArch::baseline());
+        assert_eq!(a, b);
     }
 
     #[test]

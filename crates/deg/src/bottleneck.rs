@@ -361,8 +361,8 @@ pub fn merge_reports(reports: &[BottleneckReport], weights: &[f64]) -> Bottlenec
     let mut length = 0.0f64;
     for (r, &w) in reports.iter().zip(weights) {
         let wn = w / wsum;
-        for i in 0..NUM_SOURCES {
-            contributions[i] += wn * r.contributions[i];
+        for (c, rc) in contributions.iter_mut().zip(&r.contributions) {
+            *c += wn * rc;
         }
         length += wn * r.length as f64;
     }
@@ -422,7 +422,10 @@ mod tests {
 
     #[test]
     fn random_branches_blame_the_predictor() {
-        let rep = report_for(&trace_gen::random_branches(4_000, 17), MicroArch::baseline());
+        let rep = report_for(
+            &trace_gen::random_branches(4_000, 17),
+            MicroArch::baseline(),
+        );
         assert!(
             rep.contribution(BottleneckSource::BPred) > 0.1,
             "random branches must expose BPred: {}",
@@ -531,14 +534,18 @@ mod tests {
         // First half: serial divides; second half: random branches — the
         // dominant source must differ between early and late bins.
         let mut instrs: Vec<Instruction> = trace_gen::divide_heavy(600);
-        instrs.extend(trace_gen::random_branches(3_000, 3).into_iter().map(|mut i| {
-            i.pc += 0x10_0000;
-            if i.op == OpClass::BranchCond {
-                i.target += 0x10_0000;
-            }
-            let _ = Reg::int(1);
-            i
-        }));
+        instrs.extend(
+            trace_gen::random_branches(3_000, 3)
+                .into_iter()
+                .map(|mut i| {
+                    i.pc += 0x10_0000;
+                    if i.op == OpClass::BranchCond {
+                        i.target += 0x10_0000;
+                    }
+                    let _ = Reg::int(1);
+                    i
+                }),
+        );
         let r = OooCore::new(MicroArch::baseline()).run(&instrs);
         let mut deg = induce(build_deg(&r));
         let path = critical_path_mut(&mut deg);

@@ -25,7 +25,11 @@ pub fn build_deg(result: &SimResult) -> Deg {
 ///
 /// Panics if the window is out of bounds or empty.
 pub fn build_deg_window(result: &SimResult, start: usize, end: usize) -> Deg {
-    assert!(start < end && end <= result.trace.events.len(), "bad window");
+    assert!(
+        start < end && end <= result.trace.events.len(),
+        "bad window"
+    );
+    let _timed = archx_telemetry::span("deg/build");
     let events = &result.trace.events[start..end];
     let n = events.len() as u32;
 
@@ -53,15 +57,27 @@ pub fn build_deg_window(result: &SimResult, start: usize, end: usize) -> Deg {
         }
         // Fetch-buffer slot dependence: F(releaser) → F1(j).
         if let Some(from) = ev.fetch_slot_from.and_then(in_window) {
-            deg.add_edge(deg.node(from, Stage::F), deg.node(j, Stage::F1), EdgeKind::FetchSlot);
+            deg.add_edge(
+                deg.node(from, Stage::F),
+                deg.node(j, Stage::F1),
+                EdgeKind::FetchSlot,
+            );
         }
         // Fetch bandwidth / fetch-queue dependence: F(releaser) → F(j).
         if let Some(from) = ev.fetch_bw_from.and_then(in_window) {
-            deg.add_edge(deg.node(from, Stage::F), deg.node(j, Stage::F), EdgeKind::FetchBw);
+            deg.add_edge(
+                deg.node(from, Stage::F),
+                deg.node(j, Stage::F),
+                EdgeKind::FetchBw,
+            );
         }
         // Misprediction squash: P(branch) → F1(first refilled).
         if let Some(from) = ev.refill_from.and_then(in_window) {
-            deg.add_edge(deg.node(from, Stage::P), deg.node(j, Stage::F1), EdgeKind::Mispredict);
+            deg.add_edge(
+                deg.node(from, Stage::P),
+                deg.node(j, Stage::F1),
+                EdgeKind::Mispredict,
+            );
         }
         // Hardware-resource usage dependencies: R(releaser) → R(j).
         for stall in &ev.rename_stalls {
@@ -76,18 +92,30 @@ pub fn build_deg_window(result: &SimResult, start: usize, end: usize) -> Deg {
         // Functional-unit usage dependence: I(releaser) → I(j).
         if let Some(wait) = ev.fu_wait {
             if let Some(rel) = in_window(wait.releaser) {
-                deg.add_edge(deg.node(rel, Stage::I), deg.node(j, Stage::I), EdgeKind::Fu(wait.fu));
+                deg.add_edge(
+                    deg.node(rel, Stage::I),
+                    deg.node(j, Stage::I),
+                    EdgeKind::Fu(wait.fu),
+                );
             }
         }
         // True data dependencies: I(producer) → I(j).
         for &d in &ev.data_deps {
             if let Some(prod) = in_window(d) {
-                deg.add_edge(deg.node(prod, Stage::I), deg.node(j, Stage::I), EdgeKind::Data);
+                deg.add_edge(
+                    deg.node(prod, Stage::I),
+                    deg.node(j, Stage::I),
+                    EdgeKind::Data,
+                );
             }
         }
         // Memory-address-dependence misprediction: M(store) → C(load).
         if let Some(store) = ev.mem_dep_violation.and_then(in_window) {
-            deg.add_edge(deg.node(store, Stage::M), deg.node(j, Stage::C), EdgeKind::MemDep);
+            deg.add_edge(
+                deg.node(store, Stage::M),
+                deg.node(j, Stage::C),
+                EdgeKind::MemDep,
+            );
         }
     }
     deg
@@ -141,10 +169,16 @@ mod tests {
             .filter(|e| e.kind == EdgeKind::Mispredict)
             .map(|e| g.interval(e))
             .collect();
-        assert!(!weights.is_empty(), "random branches must produce squash edges");
+        assert!(
+            !weights.is_empty(),
+            "random branches must produce squash edges"
+        );
         // Squash+redirect takes at least the redirect penalty; the refill
         // may start later still when the front end is busy.
-        assert!(weights.iter().all(|&w| w >= 3), "squash latency below redirect: {weights:?}");
+        assert!(
+            weights.iter().all(|&w| w >= 3),
+            "squash latency below redirect: {weights:?}"
+        );
         weights.sort_unstable();
         weights.dedup();
     }
@@ -163,8 +197,14 @@ mod tests {
         arch.rob_entries = 32;
         let r = OooCore::new(arch).run(&trace_gen::pointer_chase(3_000, 16 << 20, 5));
         let g = build_deg(&r);
-        let has_resource = g.edges().iter().any(|e| matches!(e.kind, EdgeKind::Resource(_)));
-        assert!(has_resource, "a tiny machine on a memory-bound trace must stall on resources");
+        let has_resource = g
+            .edges()
+            .iter()
+            .any(|e| matches!(e.kind, EdgeKind::Resource(_)));
+        assert!(
+            has_resource,
+            "a tiny machine on a memory-bound trace must stall on resources"
+        );
     }
 
     #[test]

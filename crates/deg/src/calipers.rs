@@ -125,7 +125,7 @@ impl CalipersModel {
             edges.push((id(i, F), id(i, E), 5, BottleneckSource::Base));
             edges.push((id(i, E), id(i, C), 1, BottleneckSource::Base));
             if i + 1 < n {
-                let bw = u64::from((i as u32 + 1) % self.width == 0);
+                let bw = u64::from((i as u32 + 1).is_multiple_of(self.width));
                 edges.push((id(i, F), id(i + 1, F), bw, BottleneckSource::Width));
                 edges.push((id(i, C), id(i + 1, C), bw, BottleneckSource::Width));
                 // Static misprediction penalty.
@@ -319,8 +319,7 @@ mod tests {
         let path = crate::critical::critical_path_mut(&mut g);
         let new_rep = crate::bottleneck::analyze(&g, &path);
         let old_port = rep.contribution(BottleneckSource::RdWrPort) * rep.length as f64;
-        let new_port =
-            new_rep.contribution(BottleneckSource::RdWrPort) * new_rep.length as f64;
+        let new_port = new_rep.contribution(BottleneckSource::RdWrPort) * new_rep.length as f64;
         assert!(
             old_port > new_port,
             "static port contribution {old_port:.0} must exceed the new formulation's {new_port:.0}"

@@ -57,6 +57,7 @@ pub fn critical_path(deg: &Deg) -> CriticalPath {
 /// clone. The graph is only mutated by building its CSR cache.
 pub fn critical_path_mut(deg: &mut Deg) -> CriticalPath {
     assert!(deg.instr_count() > 0, "empty DEG");
+    let _timed = archx_telemetry::span("deg/critical");
     deg.freeze();
     let n = deg.node_count();
     // DP value per node: (cost, delay, attributed delay). Cost implements
@@ -76,7 +77,11 @@ pub fn critical_path_mut(deg: &mut Deg) -> CriticalPath {
         for e in deg.out_edges(node) {
             let w = deg.interval(e);
             let ec = if e.kind.has_cost() { w } else { 0 };
-            let ea = if e.kind == crate::graph::EdgeKind::Virtual { 0 } else { w };
+            let ea = if e.kind == crate::graph::EdgeKind::Virtual {
+                0
+            } else {
+                w
+            };
             let (nc, nd, na) = (c0 + ec, d0 + w, a0 + ea);
             let t = e.to as usize;
             if (nc, nd, na) > (cost[t], delay[t], attr[t]) {
@@ -176,7 +181,7 @@ mod tests {
         // A serial dependence chain: the path routes through skewed
         // dependence edges (data deps and the queue backpressure they
         // induce), not through pipeline/virtual filler alone.
-        use crate::graph::EdgeKind;
+
         let (p, _) = path_for(&trace_gen::linear_int_chain(2_000), MicroArch::baseline());
         let skewed = p.edges.iter().filter(|e| e.kind.is_skewed()).count();
         assert!(

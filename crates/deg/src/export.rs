@@ -48,7 +48,8 @@ pub fn to_dot(deg: &Deg, path: Option<&CriticalPath>, opts: &DotOptions) -> Stri
     let on_path: HashSet<(u32, u32)> = path
         .map(|p| p.edges.iter().map(|e| (e.from, e.to)).collect())
         .unwrap_or_default();
-    let mut out = String::from("digraph deg {\n  rankdir=LR;\n  node [shape=plaintext, fontsize=10];\n");
+    let mut out =
+        String::from("digraph deg {\n  rankdir=LR;\n  node [shape=plaintext, fontsize=10];\n");
     let limit = (opts.max_instrs as u32).min(deg.instr_count());
     for instr in 0..limit {
         for stage in crate::graph::Stage::ALL {
@@ -131,7 +132,10 @@ mod tests {
         assert!(dot.starts_with("digraph deg {"));
         assert!(dot.trim_end().ends_with('}'));
         assert!(dot.contains("->"));
-        assert!(dot.contains("penwidth=3"), "critical path must be highlighted");
+        assert!(
+            dot.contains("penwidth=3"),
+            "critical path must be highlighted"
+        );
     }
 
     #[test]

@@ -404,7 +404,11 @@ mod tests {
     #[test]
     fn topo_order_respects_edges() {
         let mut g = tiny_graph();
-        g.add_edge(g.node(0, Stage::F1), g.node(0, Stage::F2), EdgeKind::Pipeline);
+        g.add_edge(
+            g.node(0, Stage::F1),
+            g.node(0, Stage::F2),
+            EdgeKind::Pipeline,
+        );
         g.add_edge(g.node(0, Stage::I), g.node(1, Stage::I), EdgeKind::Data);
         let order = g.topo_order();
         let pos: std::collections::HashMap<NodeId, usize> =
@@ -421,7 +425,10 @@ mod tests {
         assert!(EdgeKind::Mispredict.is_skewed());
         assert!(!EdgeKind::Pipeline.is_skewed());
         assert!(!EdgeKind::Virtual.is_skewed());
-        assert!(!EdgeKind::Data.has_cost(), "true data deps cost zero (paper §4.2)");
+        assert!(
+            !EdgeKind::Data.has_cost(),
+            "true data deps cost zero (paper §4.2)"
+        );
         assert!(EdgeKind::Resource(ResourceKind::Rob).has_cost());
     }
 

@@ -50,6 +50,7 @@ type EdgeSet = HashSet<(NodeId, NodeId), BuildHasherDefault<PairHasher>>;
 /// Statistics of the transformation are available by comparing
 /// [`Deg::edge_count`] before and after.
 pub fn induce(mut deg: Deg) -> Deg {
+    let _timed = archx_telemetry::span("deg/induce");
     let n = deg.instr_count();
     if n == 0 {
         return deg;
@@ -229,7 +230,10 @@ mod tests {
                 reach[e.to as usize] = true;
             }
         }
-        assert!(reach[sink as usize], "induced DEG must connect F1(I0) to C(In)");
+        assert!(
+            reach[sink as usize],
+            "induced DEG must connect F1(I0) to C(In)"
+        );
     }
 
     #[test]

@@ -127,13 +127,17 @@ pub fn run_archexplorer(
     sim_budget: u64,
     opts: &ArchExplorerOptions,
 ) -> RunLog {
-    run_bottleneck_driven(space, evaluator, sim_budget, opts, "ArchExplorer", |ev, arch| {
-        let e = ev.evaluate(arch, true);
-        (
-            e.ppa,
-            e.report.expect("analysis requested").clone(),
-        )
-    })
+    run_bottleneck_driven(
+        space,
+        evaluator,
+        sim_budget,
+        opts,
+        "ArchExplorer",
+        |ev, arch| {
+            let e = ev.evaluate_with(arch, crate::eval::Analysis::NewDeg);
+            (e.ppa, e.report.expect("analysis requested").clone())
+        },
+    )
 }
 
 /// Generic bottleneck-removal loop, parameterised by the analysis backend
@@ -170,7 +174,10 @@ where
         log.push(current, ppa, evaluator.sim_count());
         let mut best_score = opts.objective.score(&ppa);
         let mut stale = 0usize;
-        if global_best.as_ref().is_none_or(|(t, _)| opts.objective.score(&ppa) > *t) {
+        if global_best
+            .as_ref()
+            .is_none_or(|(t, _)| opts.objective.score(&ppa) > *t)
+        {
             global_best = Some((opts.objective.score(&ppa), current));
         }
         // Per-trajectory freezes: any grown parameter whose growth failed

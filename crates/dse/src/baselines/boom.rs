@@ -80,15 +80,15 @@ pub fn run_boom_explorer(
     let mut x: Vec<Vec<f64>> = Vec::new();
     let mut y: Vec<f64> = Vec::new();
 
-    let mut simulate = |arch: MicroArch,
-                        log: &mut RunLog,
-                        x: &mut Vec<Vec<f64>>,
-                        y: &mut Vec<f64>,
-                        seen: &mut HashSet<MicroArch>| {
+    let simulate = |arch: MicroArch,
+                    log: &mut RunLog,
+                    x: &mut Vec<Vec<f64>>,
+                    y: &mut Vec<f64>,
+                    seen: &mut HashSet<MicroArch>| {
         if !seen.insert(arch) {
             return;
         }
-        let e = evaluator.evaluate(&arch, false);
+        let e = evaluator.evaluate(&arch);
         log.push(arch, e.ppa, evaluator.sim_count());
         x.push(space.features(&arch));
         y.push(e.ppa.tradeoff());

@@ -14,10 +14,17 @@ pub fn run_calipers_dse(
     sim_budget: u64,
     opts: &ArchExplorerOptions,
 ) -> RunLog {
-    run_bottleneck_driven(space, evaluator, sim_budget, opts, "Calipers", |ev, arch| {
-        let e = ev.evaluate_with(arch, Analysis::Calipers);
-        (e.ppa, e.report.expect("analysis requested").clone())
-    })
+    run_bottleneck_driven(
+        space,
+        evaluator,
+        sim_budget,
+        opts,
+        "Calipers",
+        |ev, arch| {
+            let e = ev.evaluate_with(arch, Analysis::Calipers);
+            (e.ppa, e.report.expect("analysis requested").clone())
+        },
+    )
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ pub fn run_random_search(
     let mut log = RunLog::new("Random");
     while evaluator.sim_count() < sim_budget {
         let arch = space.random(&mut rng);
-        let e = evaluator.evaluate(&arch, false);
+        let e = evaluator.evaluate(&arch);
         log.push(arch, e.ppa, evaluator.sim_count());
     }
     log
@@ -35,8 +35,7 @@ mod tests {
         assert!(ev.sim_count() >= 10);
         assert!(log.records.len() >= 5);
         // Designs should (almost surely) be distinct.
-        let distinct: std::collections::HashSet<_> =
-            log.records.iter().map(|r| r.arch).collect();
+        let distinct: std::collections::HashSet<_> = log.records.iter().map(|r| r.arch).collect();
         assert!(distinct.len() > 1);
     }
 }

@@ -53,14 +53,14 @@ pub fn run_archranker(
     // (features, tradeoff) of every simulated design.
     let mut evaluated: Vec<(Vec<f64>, f64)> = Vec::new();
 
-    let mut simulate = |arch: MicroArch,
-                        log: &mut RunLog,
-                        evaluated: &mut Vec<(Vec<f64>, f64)>,
-                        seen: &mut HashSet<MicroArch>| {
+    let simulate = |arch: MicroArch,
+                    log: &mut RunLog,
+                    evaluated: &mut Vec<(Vec<f64>, f64)>,
+                    seen: &mut HashSet<MicroArch>| {
         if !seen.insert(arch) {
             return;
         }
-        let e = evaluator.evaluate(&arch, false);
+        let e = evaluator.evaluate(&arch);
         log.push(arch, e.ppa, evaluator.sim_count());
         evaluated.push((space.features(&arch), e.ppa.tradeoff()));
     };
@@ -132,7 +132,13 @@ mod tests {
     fn respects_budget() {
         let suite: Vec<_> = spec06_suite().into_iter().take(2).collect();
         let ev = Evaluator::new(suite, 1_000, 1).with_threads(1);
-        let log = run_archranker(&DesignSpace::table4(), &ev, 26, 3, &RankerOptions::default());
+        let log = run_archranker(
+            &DesignSpace::table4(),
+            &ev,
+            26,
+            3,
+            &RankerOptions::default(),
+        );
         assert!(ev.sim_count() >= 26);
         assert!(log.records.len() >= 13);
         assert_eq!(log.method, "ArchRanker");

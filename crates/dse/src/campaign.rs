@@ -92,7 +92,7 @@ impl Default for CampaignConfig {
             instrs_per_workload: 10_000,
             seed: 1,
             trace_seed: None,
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+            threads: crate::default_threads(),
         }
     }
 }
@@ -104,12 +104,31 @@ pub fn run_method(
     suite: &[Workload],
     cfg: &CampaignConfig,
 ) -> RunLog {
+    run_method_observed(method, space, suite, cfg, None)
+}
+
+/// Like [`run_method`], but additionally streams per-evaluation
+/// [`archx_telemetry::Progress`] events (simulations done vs. budget,
+/// hypervolume, best trade-off) to `sink`. Events also reach any sinks
+/// registered on the global telemetry registry either way.
+pub fn run_method_observed(
+    method: Method,
+    space: &DesignSpace,
+    suite: &[Workload],
+    cfg: &CampaignConfig,
+    sink: Option<std::sync::Arc<dyn archx_telemetry::ProgressSink>>,
+) -> RunLog {
+    let _timed = archx_telemetry::span("dse/run_method");
     let evaluator = Evaluator::new(
         suite.to_vec(),
         cfg.instrs_per_workload,
         cfg.trace_seed.unwrap_or(cfg.seed),
     )
     .with_threads(cfg.threads);
+    evaluator.set_progress_target(method.to_string(), cfg.sim_budget);
+    if let Some(sink) = sink {
+        evaluator.set_progress_sink(sink);
+    }
     let ax_opts = ArchExplorerOptions {
         seed: cfg.seed,
         ..ArchExplorerOptions::default()
@@ -243,8 +262,7 @@ pub fn sweep(
             let sims = curves[0][i].0;
             let vals: Vec<f64> = curves.iter().map(|c| c[i].1).collect();
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
             points.push((sims, mean, var.sqrt()));
         }
         out.push(SweepCurve {
@@ -274,7 +292,11 @@ mod tests {
         let campaign = Campaign::run(&Method::ALL, &space, &suite, &cfg);
         assert_eq!(campaign.logs.len(), Method::ALL.len());
         for log in &campaign.logs {
-            assert!(!log.records.is_empty(), "{} produced no records", log.method);
+            assert!(
+                !log.records.is_empty(),
+                "{} produced no records",
+                log.method
+            );
         }
         let curves = campaign.curves(&RefPoint::default(), 8);
         assert_eq!(curves.len(), Method::ALL.len());

@@ -6,16 +6,19 @@
 //! instructions of each Simpoint), every workload simulation counts as one
 //! simulation toward the budget, and results are cached per design.
 
-use crate::pareto::ExplorationSet;
+use crate::pareto::{ExplorationSet, RefPoint};
 use archx_deg::{build_deg, critical, induce, merge_reports, BottleneckReport};
 use archx_power::{PowerModel, PpaResult};
 use archx_sim::isa::Instruction;
 use archx_sim::{MicroArch, OooCore};
+use archx_telemetry::{self as telemetry, Progress, ProgressSink};
 use archx_workloads::Workload;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Which bottleneck analysis to run alongside the simulations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,6 +46,28 @@ pub struct DesignEval {
     pub analysis: Analysis,
 }
 
+/// Campaign-progress state carried by the evaluator: who is searching,
+/// against what budget, and the frontier statistics accumulated so far.
+struct ProgressMeta {
+    source: String,
+    sim_budget: u64,
+    sink: Option<Arc<dyn ProgressSink>>,
+    set: ExplorationSet,
+    best_tradeoff: f64,
+}
+
+impl Default for ProgressMeta {
+    fn default() -> Self {
+        ProgressMeta {
+            source: "eval".to_string(),
+            sim_budget: 0,
+            sink: None,
+            set: ExplorationSet::new(),
+            best_tradeoff: 0.0,
+        }
+    }
+}
+
 /// Shared evaluator with a design cache and a simulation budget counter.
 pub struct Evaluator {
     workloads: Vec<Workload>,
@@ -51,6 +76,7 @@ pub struct Evaluator {
     threads: usize,
     sims: AtomicU64,
     cache: Mutex<HashMap<MicroArch, DesignEval>>,
+    progress: Mutex<ProgressMeta>,
 }
 
 impl std::fmt::Debug for Evaluator {
@@ -75,9 +101,10 @@ impl Evaluator {
             workloads,
             traces,
             power: PowerModel::default(),
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+            threads: crate::default_threads(),
             sims: AtomicU64::new(0),
             cache: Mutex::new(HashMap::new()),
+            progress: Mutex::new(ProgressMeta::default()),
         }
     }
 
@@ -98,24 +125,44 @@ impl Evaluator {
         self.sims.load(Ordering::Relaxed)
     }
 
-    /// Evaluates a design; `analyze` additionally builds the induced DEG
-    /// and bottleneck report per workload and merges them (Eq. 2).
+    /// Labels this evaluator's progress events (`source`, typically the
+    /// search method's name) and the simulation budget they report against.
+    pub fn set_progress_target(&self, source: impl Into<String>, sim_budget: u64) {
+        let mut meta = self.progress.lock();
+        meta.source = source.into();
+        meta.sim_budget = sim_budget;
+    }
+
+    /// Attaches a per-evaluator progress sink (in addition to any sinks on
+    /// the global telemetry registry). One sink per evaluator; a second
+    /// call replaces the first.
+    pub fn set_progress_sink(&self, sink: Arc<dyn ProgressSink>) {
+        self.progress.lock().sink = Some(sink);
+    }
+
+    /// Evaluates a design (simulation + PPA only, no bottleneck analysis).
+    ///
+    /// Cached: re-evaluating a design costs no simulations.
+    pub fn evaluate(&self, arch: &MicroArch) -> DesignEval {
+        self.evaluate_with(arch, Analysis::None)
+    }
+
+    /// Evaluates a design with an explicit bottleneck-analysis backend:
+    /// [`Analysis::NewDeg`] additionally builds the induced DEG and merges
+    /// per-workload bottleneck reports (Eq. 2).
     ///
     /// Cached: re-evaluating a design costs no simulations. A cached
     /// design evaluated without a report will be re-simulated if a report
     /// is later requested (counting simulations again, as the paper's
     /// trace-dumping runs would).
-    pub fn evaluate(&self, arch: &MicroArch, analyze: bool) -> DesignEval {
-        self.evaluate_with(arch, if analyze { Analysis::NewDeg } else { Analysis::None })
-    }
-
-    /// Evaluates a design with an explicit analysis backend.
     pub fn evaluate_with(&self, arch: &MicroArch, analysis: Analysis) -> DesignEval {
         if let Some(hit) = self.cache.lock().get(arch) {
             if analysis == Analysis::None || hit.analysis == analysis {
+                telemetry::counter_add("eval/cache/hit", 1);
                 return hit.clone();
             }
         }
+        telemetry::counter_add("eval/cache/miss", 1);
         let eval = self.evaluate_uncached(arch, analysis);
         self.cache.lock().insert(*arch, eval.clone());
         eval
@@ -134,7 +181,18 @@ impl Evaluator {
         let mut reports: Vec<Option<BottleneckReport>> = vec![None; n];
 
         let run_one = |i: usize| -> (PpaResult, Option<BottleneckReport>) {
-            let result = OooCore::new(*arch).run(&self.traces[i]);
+            // Everything below is attributed under `eval/...` — absolute,
+            // so names match whether this runs on the caller's thread
+            // (serial path) or on a worker. Scopes are thread-local.
+            let _root = telemetry::root_scope();
+            let _scope = telemetry::scope("eval");
+            let started = Instant::now();
+            let result = {
+                let _timed = telemetry::span("simulate");
+                OooCore::new(*arch).run(&self.traces[i])
+            };
+            telemetry::record("eval/sim_latency_us", started.elapsed().as_micros() as u64);
+            result.stats.export_telemetry();
             let ppa = self.power.evaluate(arch, &result.stats);
             let report = match analysis {
                 Analysis::None => None,
@@ -184,24 +242,50 @@ impl Evaluator {
         let ipc = per_workload.iter().map(|p| p.ipc).sum::<f64>() / n as f64;
         let power = per_workload.iter().map(|p| p.power_w).sum::<f64>() / n as f64;
         let area = per_workload[0].area_mm2;
+        let mean_ppa = PpaResult {
+            ipc,
+            power_w: power,
+            area_mm2: area,
+        };
+        self.emit_progress(mean_ppa);
         let report = if analysis != Analysis::None {
-            let reps: Vec<BottleneckReport> =
-                reports.into_iter().map(|r| r.expect("analysis requested")).collect();
+            let reps: Vec<BottleneckReport> = reports
+                .into_iter()
+                .map(|r| r.expect("analysis requested"))
+                .collect();
             let weights: Vec<f64> = self.workloads.iter().map(|w| w.weight).collect();
             Some(merge_reports(&reps, &weights))
         } else {
             None
         };
         DesignEval {
-            ppa: PpaResult {
-                ipc,
-                power_w: power,
-                area_mm2: area,
-            },
+            ppa: mean_ppa,
             per_workload,
             report,
             analysis,
         }
+    }
+
+    /// Publishes one progress event (after each uncached evaluation) to the
+    /// per-evaluator sink and the global telemetry sinks.
+    fn emit_progress(&self, ppa: PpaResult) {
+        let (event, sink) = {
+            let mut meta = self.progress.lock();
+            meta.set.push(ppa);
+            meta.best_tradeoff = meta.best_tradeoff.max(ppa.tradeoff());
+            let event = Progress {
+                source: meta.source.clone(),
+                sims_done: self.sim_count(),
+                sim_budget: meta.sim_budget,
+                hypervolume: meta.set.hypervolume(&RefPoint::default()),
+                best_tradeoff: meta.best_tradeoff,
+            };
+            (event, meta.sink.clone())
+        };
+        if let Some(sink) = sink {
+            sink.on_progress(&event);
+        }
+        telemetry::progress(&event);
     }
 }
 
@@ -234,8 +318,9 @@ impl RunLog {
         }
     }
 
-    /// Appends a record.
+    /// Appends a record (one search iteration).
     pub fn push(&mut self, arch: MicroArch, ppa: PpaResult, sims_after: u64) {
+        telemetry::counter_add("dse/iteration", 1);
         self.records.push(EvalRecord {
             arch,
             ppa,
@@ -245,11 +330,7 @@ impl RunLog {
 
     /// Hypervolume as a function of cumulative simulations, sampled at
     /// each multiple of `step`.
-    pub fn hypervolume_curve(
-        &self,
-        r: &crate::pareto::RefPoint,
-        step: u64,
-    ) -> Vec<(u64, f64)> {
+    pub fn hypervolume_curve(&self, r: &crate::pareto::RefPoint, step: u64) -> Vec<(u64, f64)> {
         assert!(step > 0, "step must be positive");
         let mut curve = Vec::new();
         let max_sims = self.records.last().map_or(0, |r| r.sims_after);
@@ -305,9 +386,9 @@ mod tests {
     fn evaluation_counts_sims_and_caches() {
         let ev = small_eval();
         let arch = MicroArch::baseline();
-        let e1 = ev.evaluate(&arch, false);
+        let e1 = ev.evaluate(&arch);
         assert_eq!(ev.sim_count(), 2);
-        let e2 = ev.evaluate(&arch, false);
+        let e2 = ev.evaluate(&arch);
         assert_eq!(ev.sim_count(), 2, "cache hit must not count");
         assert_eq!(e1, e2);
         assert!(e1.ppa.ipc > 0.0);
@@ -317,7 +398,7 @@ mod tests {
     #[test]
     fn analysis_produces_merged_report() {
         let ev = small_eval();
-        let e = ev.evaluate(&MicroArch::tiny(), true);
+        let e = ev.evaluate_with(&MicroArch::tiny(), Analysis::NewDeg);
         let rep = e.report.expect("requested analysis");
         assert!(rep.total() > 0.5);
     }
@@ -327,9 +408,26 @@ mod tests {
         let suite: Vec<Workload> = spec06_suite().into_iter().take(3).collect();
         let serial = Evaluator::new(suite.clone(), 2_000, 1).with_threads(1);
         let parallel = Evaluator::new(suite, 2_000, 1).with_threads(3);
-        let a = serial.evaluate(&MicroArch::baseline(), true);
-        let b = parallel.evaluate(&MicroArch::baseline(), true);
+        let a = serial.evaluate_with(&MicroArch::baseline(), Analysis::NewDeg);
+        let b = parallel.evaluate_with(&MicroArch::baseline(), Analysis::NewDeg);
         assert_eq!(a, b, "thread count must not change results");
+    }
+
+    #[test]
+    fn progress_events_reach_the_sink() {
+        let ev = small_eval();
+        let sink = Arc::new(telemetry::CollectingSink::new());
+        ev.set_progress_target("test", 4);
+        ev.set_progress_sink(sink.clone());
+        ev.evaluate(&MicroArch::baseline());
+        ev.evaluate(&MicroArch::baseline()); // cached: no new event
+        let events = sink.events();
+        assert_eq!(events.len(), 1, "one event per uncached evaluation");
+        assert_eq!(events[0].source, "test");
+        assert_eq!(events[0].sims_done, 2);
+        assert_eq!(events[0].sim_budget, 4);
+        assert!(events[0].hypervolume > 0.0);
+        assert!(events[0].best_tradeoff > 0.0);
     }
 
     #[test]

@@ -41,10 +41,19 @@ pub mod pareto;
 pub mod reassign;
 pub mod space;
 
+/// Default worker-thread count for workload-parallel simulation: the
+/// machine's parallelism, capped at 8 (suites have ≤14 workloads, and the
+/// cap keeps laptop runs polite). The single source of truth for every
+/// layer's default.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+}
+
 /// Convenient re-exports of the main entry points.
 pub mod prelude {
     pub use crate::archexplorer::{run_archexplorer, ArchExplorerOptions};
-    pub use crate::campaign::{run_method, Campaign, CampaignConfig, Method};
+    pub use crate::campaign::{run_method, run_method_observed, Campaign, CampaignConfig, Method};
+    pub use crate::default_threads;
     pub use crate::eval::{Analysis, DesignEval, EvalRecord, Evaluator, RunLog};
     pub use crate::pareto::{dominates, hypervolume, pareto_front, ExplorationSet, RefPoint};
     pub use crate::space::{DesignSpace, ParamId};

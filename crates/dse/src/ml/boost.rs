@@ -62,12 +62,13 @@ impl AdaBoostRt {
     pub fn predict(&self, q: &[f64]) -> f64 {
         let ws: f64 = self.trees.iter().map(|(a, _)| *a).sum();
         if ws <= 0.0 {
-            return self
-                .trees
-                .first()
-                .map_or(0.0, |(_, t)| t.predict(q));
+            return self.trees.first().map_or(0.0, |(_, t)| t.predict(q));
         }
-        self.trees.iter().map(|(a, t)| a * t.predict(q)).sum::<f64>() / ws
+        self.trees
+            .iter()
+            .map(|(a, t)| a * t.predict(q))
+            .sum::<f64>()
+            / ws
     }
 }
 

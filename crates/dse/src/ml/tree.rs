@@ -47,7 +47,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    at = if q[*feature] <= *threshold { *left } else { *right };
+                    at = if q[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -63,7 +67,9 @@ fn weighted_mean(y: &[f64], w: &[f64], idx: &[usize]) -> f64 {
 }
 
 fn weighted_sse(y: &[f64], w: &[f64], idx: &[usize], mean: f64) -> f64 {
-    idx.iter().map(|&i| w[i] * (y[i] - mean) * (y[i] - mean)).sum()
+    idx.iter()
+        .map(|&i| w[i] * (y[i] - mean) * (y[i] - mean))
+        .sum()
 }
 
 /// Builds a subtree over `idx`, returning its node index.
@@ -85,6 +91,7 @@ fn build(
     // thresholds at quartiles of each feature to keep fitting cheap.
     let dims = x[0].len();
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+    #[allow(clippy::needless_range_loop)] // `f` indexes columns across every row of `x`
     for f in 0..dims {
         let mut vals: Vec<f64> = idx.iter().map(|&i| x[i][f]).collect();
         vals.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));

@@ -79,7 +79,11 @@ pub fn hypervolume(points: &[PpaResult], r: &RefPoint) -> f64 {
     for k in 0..pts.len() {
         active.push([pts[k][0], pts[k][1]]);
         let z_hi = pts[k][2];
-        let z_lo = if k + 1 < pts.len() { pts[k + 1][2] } else { 0.0 };
+        let z_lo = if k + 1 < pts.len() {
+            pts[k + 1][2]
+        } else {
+            0.0
+        };
         if z_hi > z_lo {
             volume += area2d(&active) * (z_hi - z_lo);
         }
@@ -169,7 +173,10 @@ mod tests {
     fn dominance_basics() {
         assert!(dominates(&p(2.0, 0.2, 5.0), &p(1.0, 0.3, 6.0)));
         assert!(!dominates(&p(2.0, 0.2, 5.0), &p(1.0, 0.1, 6.0)));
-        assert!(!dominates(&p(1.0, 0.2, 5.0), &p(1.0, 0.2, 5.0)), "equal points don't dominate");
+        assert!(
+            !dominates(&p(1.0, 0.2, 5.0), &p(1.0, 0.2, 5.0)),
+            "equal points don't dominate"
+        );
     }
 
     #[test]

@@ -227,7 +227,13 @@ mod tests {
             (BottleneckSource::IntRf, 0.10),
             (BottleneckSource::Base, 0.2),
         ]);
-        let r = reassign(&space, &arch, &report, &HashSet::new(), &ReassignOptions::default());
+        let r = reassign(
+            &space,
+            &arch,
+            &report,
+            &HashSet::new(),
+            &ReassignOptions::default(),
+        );
         assert!(r.grown.contains(&ParamId::Sq), "top bottleneck must grow");
         assert!(r.grown.contains(&ParamId::IntRf));
         assert!(r.arch.sq_entries > arch.sq_entries);
@@ -260,7 +266,13 @@ mod tests {
         let mut arch = space.snap(&MicroArch::baseline());
         arch.sq_entries = 48; // lattice max
         let report = report_with(&[(BottleneckSource::Sq, 0.9)]);
-        let r = reassign(&space, &arch, &report, &HashSet::new(), &ReassignOptions::default());
+        let r = reassign(
+            &space,
+            &arch,
+            &report,
+            &HashSet::new(),
+            &ReassignOptions::default(),
+        );
         assert!(!r.grown.contains(&ParamId::Sq));
         assert_eq!(r.arch.sq_entries, 48);
     }
@@ -270,7 +282,13 @@ mod tests {
         let space = DesignSpace::table4();
         let arch = space.snap(&MicroArch::baseline());
         let report = report_with(&[(BottleneckSource::TrueDep, 0.9)]);
-        let r = reassign(&space, &arch, &report, &HashSet::new(), &ReassignOptions::default());
+        let r = reassign(
+            &space,
+            &arch,
+            &report,
+            &HashSet::new(),
+            &ReassignOptions::default(),
+        );
         assert!(r.grown.is_empty());
     }
 

@@ -395,7 +395,7 @@ mod tests {
         let mut arch = MicroArch::baseline();
         for &p in &ParamId::ALL {
             let v = p.get(&arch);
-            p.set(&mut arch, v + 0); // identity write
+            p.set(&mut arch, v); // identity write
             assert_eq!(p.get(&arch), v);
         }
     }

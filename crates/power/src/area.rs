@@ -32,7 +32,8 @@ pub fn component_areas(arch: &MicroArch) -> Vec<ComponentArea> {
     // Front end.
     v.push(ComponentArea {
         name: "fetch",
-        mm2: 0.08 + 0.002 * arch.fetch_buffer_bytes as f64 / 8.0
+        mm2: 0.08
+            + 0.002 * arch.fetch_buffer_bytes as f64 / 8.0
             + 0.0015 * arch.fetch_queue_uops as f64,
     });
     v.push(ComponentArea {
@@ -105,9 +106,8 @@ pub fn component_areas(arch: &MicroArch) -> Vec<ComponentArea> {
     });
 
     // Caches: ~0.022 mm²/KB data array + associativity tag/mux overhead.
-    let cache_area = |kb: u32, assoc: u32| {
-        0.022 * kb as f64 * (1.0 + 0.06 * (assoc as f64 - 1.0)) + 0.05
-    };
+    let cache_area =
+        |kb: u32, assoc: u32| 0.022 * kb as f64 * (1.0 + 0.06 * (assoc as f64 - 1.0)) + 0.05;
     v.push(ComponentArea {
         name: "icache",
         mm2: cache_area(arch.icache_kb, arch.icache_assoc),
@@ -164,7 +164,10 @@ mod tests {
         wide.width = 8;
         let a2 = total_area(&narrow);
         let a8 = total_area(&wide);
-        assert!(a8 > a2 * 1.3, "8-wide {a8} should cost much more than 2-wide {a2}");
+        assert!(
+            a8 > a2 * 1.3,
+            "8-wide {a8} should cost much more than 2-wide {a2}"
+        );
     }
 
     #[test]

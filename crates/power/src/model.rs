@@ -120,17 +120,34 @@ impl PowerModel {
             ("iq", to_w(commits * e.per_commit_nj * 0.10)),
             ("lq", to_w(cycles * e.per_cycle_base_nj * 0.05)),
             ("sq", to_w(cycles * e.per_cycle_base_nj * 0.05)),
-            ("int_alu", to_w(stats.fu_issued[0] as f64 * e.per_int_alu_nj)),
-            ("int_mult_div", to_w(stats.fu_issued[1] as f64 * e.per_int_mult_nj)),
+            (
+                "int_alu",
+                to_w(stats.fu_issued[0] as f64 * e.per_int_alu_nj),
+            ),
+            (
+                "int_mult_div",
+                to_w(stats.fu_issued[1] as f64 * e.per_int_mult_nj),
+            ),
             ("fp_alu", to_w(stats.fu_issued[2] as f64 * e.per_fp_alu_nj)),
-            ("fp_mult_div", to_w(stats.fu_issued[3] as f64 * e.per_fp_mult_nj)),
-            ("mem_ports", to_w(stats.fu_issued[4] as f64 * e.per_mem_port_nj)),
-            ("icache", to_w(stats.icache_accesses as f64 * e.per_l1_access_nj)),
+            (
+                "fp_mult_div",
+                to_w(stats.fu_issued[3] as f64 * e.per_fp_mult_nj),
+            ),
+            (
+                "mem_ports",
+                to_w(stats.fu_issued[4] as f64 * e.per_mem_port_nj),
+            ),
+            (
+                "icache",
+                to_w(stats.icache_accesses as f64 * e.per_l1_access_nj),
+            ),
             (
                 "dcache",
-                to_w(stats.dcache_accesses as f64 * e.per_l1_access_nj
-                    + stats.l2_accesses as f64 * e.per_l2_access_nj
-                    + stats.l2_misses as f64 * e.per_dram_access_nj),
+                to_w(
+                    stats.dcache_accesses as f64 * e.per_l1_access_nj
+                        + stats.l2_accesses as f64 * e.per_l2_access_nj
+                        + stats.l2_misses as f64 * e.per_dram_access_nj,
+                ),
             ),
         ];
         // Leakage per component, folded in.
@@ -212,7 +229,10 @@ mod tests {
         let p1 = m.evaluate(&fat, &r1.stats);
         assert!(p1.area_mm2 > p0.area_mm2);
         assert!(p1.power_w >= p0.power_w);
-        assert!((p1.ipc - p0.ipc).abs() < 0.02, "FP units don't help int code");
+        assert!(
+            (p1.ipc - p0.ipc).abs() < 0.02,
+            "FP units don't help int code"
+        );
     }
 
     #[test]
@@ -244,7 +264,11 @@ mod tests {
             "breakdown total {total} vs headline {headline}"
         );
         // Caches should be among the larger consumers on a mixed workload.
-        let dcache = breakdown.iter().find(|(n, _)| *n == "dcache").expect("dcache entry").1;
+        let dcache = breakdown
+            .iter()
+            .find(|(n, _)| *n == "dcache")
+            .expect("dcache entry")
+            .1;
         assert!(dcache > 0.001);
     }
 

@@ -209,9 +209,7 @@ impl BranchPredictor {
     /// Whether the prediction was fully correct for this instruction.
     pub fn correct(pred: Prediction, instr: &Instruction) -> bool {
         match instr.op {
-            OpClass::BranchCond => {
-                pred.taken == instr.taken && (!instr.taken || pred.target_known)
-            }
+            OpClass::BranchCond => pred.taken == instr.taken && (!instr.taken || pred.target_known),
             OpClass::BranchUncond | OpClass::Call | OpClass::Ret => pred.target_known,
             _ => true,
         }
@@ -382,7 +380,10 @@ mod tests {
         let bimodal = run(BpKind::Bimodal);
         let gshare = run(BpKind::GShare);
         let tournament = run(BpKind::Tournament);
-        assert!(gshare < bimodal, "gshare {gshare} must beat bimodal {bimodal} on patterns");
+        assert!(
+            gshare < bimodal,
+            "gshare {gshare} must beat bimodal {bimodal} on patterns"
+        );
         assert!(
             tournament <= gshare + 20,
             "tournament {tournament} must be competitive with gshare {gshare}"

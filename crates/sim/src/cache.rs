@@ -52,7 +52,10 @@ impl Cache {
     /// Panics on invalid geometry (see [`Cache::new`]).
     pub fn with_policy(kb: u32, assoc: u32, policy: ReplPolicy) -> Self {
         let lines = kb * 1024 / LINE_BYTES;
-        assert!(assoc > 0 && lines >= assoc, "cache too small for associativity");
+        assert!(
+            assoc > 0 && lines >= assoc,
+            "cache too small for associativity"
+        );
         let sets = lines / assoc;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Cache {

@@ -249,12 +249,8 @@ impl MicroArch {
             pos(name, kb)?;
             pos(name, assoc)?;
             let lines = kb * 1024 / LINE_BYTES;
-            if lines % assoc != 0 || !(lines / assoc).is_power_of_two() {
-                return Err(ConfigError::BadCacheGeometry {
-                    name,
-                    kb,
-                    assoc,
-                });
+            if !lines.is_multiple_of(assoc) || !(lines / assoc).is_power_of_two() {
+                return Err(ConfigError::BadCacheGeometry { name, kb, assoc });
             }
         }
         if self.int_rf < ARCH_REGS + 1 {

@@ -195,7 +195,12 @@ pub fn export(result: &SimResult) -> String {
             ev.c
         );
         for stall in &ev.rename_stalls {
-            let _ = write!(out, " rs={}:{}", resource_name(stall.resource), stall.releaser);
+            let _ = write!(
+                out,
+                " rs={}:{}",
+                resource_name(stall.resource),
+                stall.releaser
+            );
         }
         if let Some(wait) = ev.fu_wait {
             let _ = write!(out, " fu={}:{}", fu_name(wait.fu), wait.releaser);
@@ -450,9 +455,15 @@ mod tests {
     #[test]
     fn rejects_missing_cycles_and_unknown_fields() {
         let missing = "I 0 int_alu 0x40 f1=0 f2=2\n";
-        assert!(matches!(import(missing), Err(ParseTraceError::Malformed { .. })));
+        assert!(matches!(
+            import(missing),
+            Err(ParseTraceError::Malformed { .. })
+        ));
         let unknown = "I 0 int_alu 0x40 f1=0 f2=2 f=2 dc=3 r=4 dp=5 i=5 m=5 p=6 c=7 zz=1\n";
-        assert!(matches!(import(unknown), Err(ParseTraceError::Malformed { .. })));
+        assert!(matches!(
+            import(unknown),
+            Err(ParseTraceError::Malformed { .. })
+        ));
         assert!(matches!(import(""), Err(ParseTraceError::Empty)));
     }
 

@@ -55,7 +55,10 @@ impl OpClass {
     /// Execution latency on its functional unit, excluding memory time.
     pub fn exec_latency(self) -> u64 {
         match self {
-            OpClass::IntAlu | OpClass::BranchCond | OpClass::BranchUncond | OpClass::Call
+            OpClass::IntAlu
+            | OpClass::BranchCond
+            | OpClass::BranchUncond
+            | OpClass::Call
             | OpClass::Ret => 1,
             OpClass::IntMult => 3,
             OpClass::IntDiv => 12,

@@ -33,9 +33,9 @@ pub mod bpred;
 pub mod cache;
 pub mod config;
 pub mod extern_trace;
-pub mod o3pipeview;
 pub mod fu;
 pub mod isa;
+pub mod o3pipeview;
 pub mod pipeline;
 pub mod resources;
 pub mod stats;

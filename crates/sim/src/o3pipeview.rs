@@ -352,7 +352,10 @@ O3PipeView:retire:5000
             import_o3pipeview("O3PipeView:fetch:abc:0x1:0:1:nop\n", 500),
             Err(O3ParseError::Malformed { .. })
         ));
-        assert!(matches!(import_o3pipeview("", 500), Err(O3ParseError::Empty)));
+        assert!(matches!(
+            import_o3pipeview("", 500),
+            Err(O3ParseError::Empty)
+        ));
         assert!(matches!(
             import_o3pipeview("O3PipeView:fetch:1:0x1:0:1:nop\nO3PipeView:zzz:2\n", 500),
             Err(O3ParseError::Malformed { .. })

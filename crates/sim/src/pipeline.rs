@@ -139,10 +139,7 @@ impl OooCore {
 
         if instructions.is_empty() {
             return SimResult {
-                trace: PipelineTrace {
-                    events,
-                    cycles: 0,
-                },
+                trace: PipelineTrace { events, cycles: 0 },
                 stats,
                 instructions: Vec::new(),
             };
@@ -317,7 +314,9 @@ impl OooCore {
                         let fwd = sq_live
                             .iter()
                             .rev()
-                            .find(|&&s| s < j && instructions[s as usize].mem_addr == instr.mem_addr)
+                            .find(|&&s| {
+                                s < j && instructions[s as usize].mem_addr == instr.mem_addr
+                            })
                             .is_some();
                         if fwd {
                             stats.store_forwards += 1;
@@ -373,7 +372,8 @@ impl OooCore {
                 let mut deps: Vec<InstrIdx> = Vec::new();
                 for s in 0..2 {
                     let prod = aux[j as usize].src_producers[s];
-                    if prod != NO_INSTR && events[prod as usize].p > dp_at && !deps.contains(&prod) {
+                    if prod != NO_INSTR && events[prod as usize].p > dp_at && !deps.contains(&prod)
+                    {
                         deps.push(prod);
                     }
                 }
@@ -807,7 +807,11 @@ mod tests {
         // A chain of dependent ALU ops cannot exceed IPC 1.
         let instrs = trace_gen::linear_int_chain(2000);
         let r = OooCore::new(MicroArch::baseline()).run(&instrs);
-        assert!(r.stats.ipc() <= 1.05, "chain IPC {} must be ~1", r.stats.ipc());
+        assert!(
+            r.stats.ipc() <= 1.05,
+            "chain IPC {} must be ~1",
+            r.stats.ipc()
+        );
     }
 
     #[test]
@@ -856,7 +860,11 @@ mod tests {
             .trace
             .events
             .iter()
-            .filter(|e| e.rename_stalls.iter().any(|s| s.resource == ResourceKind::IntRf))
+            .filter(|e| {
+                e.rename_stalls
+                    .iter()
+                    .any(|s| s.resource == ResourceKind::IntRf)
+            })
             .count();
         assert!(with_stall > 0);
     }
@@ -884,7 +892,10 @@ mod tests {
     fn loads_hit_and_miss() {
         let instrs = trace_gen::pointer_chase(3000, 1 << 22, 0x1234);
         let r = OooCore::new(MicroArch::baseline()).run(&instrs);
-        assert!(r.stats.dcache_misses > 0, "a 4 MiB footprint must miss a 32 KiB L1");
+        assert!(
+            r.stats.dcache_misses > 0,
+            "a 4 MiB footprint must miss a 32 KiB L1"
+        );
         assert!(r.stats.dcache_accesses >= r.stats.dcache_misses);
     }
 
@@ -892,7 +903,10 @@ mod tests {
     fn store_forwarding_counts() {
         let instrs = trace_gen::store_load_pairs(1000);
         let r = OooCore::new(MicroArch::baseline()).run(&instrs);
-        assert!(r.stats.store_forwards > 0, "same-address pairs must forward");
+        assert!(
+            r.stats.store_forwards > 0,
+            "same-address pairs must forward"
+        );
     }
 
     #[test]

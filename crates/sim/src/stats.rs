@@ -74,8 +74,27 @@ impl SimStats {
 
     /// Rename stall cycles for one resource kind.
     pub fn stall_cycles(&self, kind: ResourceKind) -> u64 {
-        let idx = ResourceKind::ALL.iter().position(|&k| k == kind).expect("all kinds listed");
+        let idx = ResourceKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("all kinds listed");
         self.rename_stall_cycles[idx]
+    }
+
+    /// Exports the headline counters of this run into the global telemetry
+    /// registry (`sim/committed`, `sim/cycles`, …), accumulating across
+    /// runs. Called once per simulation by the evaluation layer.
+    pub fn export_telemetry(&self) {
+        use archx_telemetry as t;
+        t::counter_add("sim/runs", 1);
+        t::counter_add("sim/committed", self.committed);
+        t::counter_add("sim/cycles", self.cycles);
+        t::counter_add("sim/mispredicts", self.mispredicts);
+        t::counter_add("sim/icache_misses", self.icache_misses);
+        t::counter_add("sim/dcache_misses", self.dcache_misses);
+        t::counter_add("sim/l2_misses", self.l2_misses);
+        t::counter_add("sim/store_forwards", self.store_forwards);
+        t::counter_add("sim/mem_dep_violations", self.mem_dep_violations);
     }
 }
 

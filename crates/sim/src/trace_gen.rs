@@ -89,7 +89,12 @@ pub fn random_branches(n: usize, seed: u64) -> Vec<Instruction> {
                 Instruction::branch(pc, Reg::int(2), rng.below(2) == 0, pc + 64)
             } else {
                 let r = (k % 8) as u8 + 2;
-                Instruction::op(pc, OpClass::IntAlu, [Some(Reg::int(r)), None], Some(Reg::int(r)))
+                Instruction::op(
+                    pc,
+                    OpClass::IntAlu,
+                    [Some(Reg::int(r)), None],
+                    Some(Reg::int(r)),
+                )
             }
         })
         .collect()
@@ -147,18 +152,38 @@ pub fn mixed_workload(n: usize, seed: u64) -> Vec<Instruction> {
             let r2 = (rng.below(20) + 2) as u8;
             match rng.below(10) {
                 0 | 1 => {
-                    let addr = 0x10000 + rng.below(1 << 16) & !7;
+                    let addr = (0x10000 + rng.below(1 << 16)) & !7;
                     Instruction::load(pc, addr, Reg::int(r), Reg::int(r2))
                 }
                 2 => {
-                    let addr = 0x10000 + rng.below(1 << 16) & !7;
+                    let addr = (0x10000 + rng.below(1 << 16)) & !7;
                     Instruction::store(pc, addr, Reg::int(r), Reg::int(r2))
                 }
                 3 => Instruction::branch(pc, Reg::int(r), rng.unit() < 0.7, pc + 128),
-                4 => Instruction::op(pc, OpClass::FpAlu, [Some(Reg::fp(r)), Some(Reg::fp(r2))], Some(Reg::fp(r))),
-                5 => Instruction::op(pc, OpClass::FpMult, [Some(Reg::fp(r)), None], Some(Reg::fp(r2))),
-                6 => Instruction::op(pc, OpClass::IntMult, [Some(Reg::int(r)), None], Some(Reg::int(r2))),
-                _ => Instruction::op(pc, OpClass::IntAlu, [Some(Reg::int(r)), Some(Reg::int(r2))], Some(Reg::int(r))),
+                4 => Instruction::op(
+                    pc,
+                    OpClass::FpAlu,
+                    [Some(Reg::fp(r)), Some(Reg::fp(r2))],
+                    Some(Reg::fp(r)),
+                ),
+                5 => Instruction::op(
+                    pc,
+                    OpClass::FpMult,
+                    [Some(Reg::fp(r)), None],
+                    Some(Reg::fp(r2)),
+                ),
+                6 => Instruction::op(
+                    pc,
+                    OpClass::IntMult,
+                    [Some(Reg::int(r)), None],
+                    Some(Reg::int(r2)),
+                ),
+                _ => Instruction::op(
+                    pc,
+                    OpClass::IntAlu,
+                    [Some(Reg::int(r)), Some(Reg::int(r2))],
+                    Some(Reg::int(r)),
+                ),
             }
         })
         .collect()

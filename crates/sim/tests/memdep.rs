@@ -19,9 +19,19 @@ fn addr_dependent_pattern(n: usize) -> Vec<Instruction> {
             Some(Reg::int(2)),
         ));
         // Store to an address far from the load below.
-        v.push(Instruction::store(pc + 4, 0x9_0000 + 64 * k as u64, Reg::int(2), Reg::int(3)));
+        v.push(Instruction::store(
+            pc + 4,
+            0x9_0000 + 64 * k as u64,
+            Reg::int(2),
+            Reg::int(3),
+        ));
         // Independent load (never conflicts with the store).
-        v.push(Instruction::load(pc + 8, 0x1_0000 + 8 * (k as u64 % 512), Reg::int(1), Reg::int(4)));
+        v.push(Instruction::load(
+            pc + 8,
+            0x1_0000 + 8 * (k as u64 % 512),
+            Reg::int(1),
+            Reg::int(4),
+        ));
         v.push(Instruction::op(
             pc + 12,
             OpClass::IntAlu,
@@ -63,7 +73,10 @@ fn speculation_speeds_up_independent_loads() {
         speculative.trace.cycles,
         conservative.trace.cycles
     );
-    assert_eq!(speculative.stats.mem_dep_violations, 0, "no conflicts exist");
+    assert_eq!(
+        speculative.stats.mem_dep_violations, 0,
+        "no conflicts exist"
+    );
 }
 
 #[test]

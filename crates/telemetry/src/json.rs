@@ -1,0 +1,479 @@
+//! Minimal JSON emit/parse for telemetry reports.
+//!
+//! The telemetry crate is dependency-free by design, so it carries its
+//! own small JSON value type: enough to render a [`Report`] and to parse
+//! one back (round-trips exactly — counters and timers are integers).
+
+use crate::registry::{HistogramStat, Report, TimerStat};
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integers (all report fields are unsigned).
+    Int(u64),
+    /// Non-integer numbers.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<JsonValue>),
+    /// Object as ordered key/value pairs.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonValue {
+    /// Renders compact single-line JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::Float(x) => {
+                if x.is_finite() {
+                    // `{:?}` keeps a `.0` on integral floats, so the
+                    // value parses back as Float, not Int.
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => render_string(s, out),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (must be a single value, whole input).
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(err(pos, "trailing characters"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(n) => Some(*n),
+            JsonValue::Float(x) if x.fract() == 0.0 && *x >= 0.0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// Builds the JSON tree of a report.
+    pub fn from_report(report: &Report) -> JsonValue {
+        let counters = JsonValue::Obj(
+            report
+                .counters
+                .iter()
+                .map(|(name, v)| (name.clone(), JsonValue::Int(*v)))
+                .collect(),
+        );
+        let timers = JsonValue::Obj(
+            report
+                .timers
+                .iter()
+                .map(|t| {
+                    (
+                        t.name.clone(),
+                        JsonValue::Obj(vec![
+                            ("count".into(), JsonValue::Int(t.count)),
+                            ("total_ns".into(), JsonValue::Int(t.total_ns)),
+                            ("max_ns".into(), JsonValue::Int(t.max_ns)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let histograms = JsonValue::Obj(
+            report
+                .histograms
+                .iter()
+                .map(|h| {
+                    (
+                        h.name.clone(),
+                        JsonValue::Obj(vec![
+                            ("count".into(), JsonValue::Int(h.count)),
+                            ("sum".into(), JsonValue::Int(h.sum)),
+                            ("min".into(), JsonValue::Int(h.min)),
+                            ("max".into(), JsonValue::Int(h.max)),
+                            (
+                                "buckets".into(),
+                                JsonValue::Arr(
+                                    h.buckets
+                                        .iter()
+                                        .map(|&(upper, c)| {
+                                            JsonValue::Arr(vec![
+                                                JsonValue::Int(upper),
+                                                JsonValue::Int(c),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        JsonValue::Obj(vec![
+            ("counters".into(), counters),
+            ("timers".into(), timers),
+            ("histograms".into(), histograms),
+        ])
+    }
+
+    /// Reconstructs a report from [`JsonValue::from_report`]'s shape.
+    pub fn into_report(self) -> Result<Report, JsonError> {
+        let field = |v: &JsonValue, key: &str| -> Result<u64, JsonError> {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| err(0, format!("missing integer field `{key}`")))
+        };
+        let mut report = Report::default();
+        if let Some(JsonValue::Obj(pairs)) = self.get("counters") {
+            for (name, v) in pairs {
+                let v = v.as_u64().ok_or_else(|| err(0, "counter not an integer"))?;
+                report.counters.push((name.clone(), v));
+            }
+        }
+        if let Some(JsonValue::Obj(pairs)) = self.get("timers") {
+            for (name, v) in pairs {
+                report.timers.push(TimerStat {
+                    name: name.clone(),
+                    count: field(v, "count")?,
+                    total_ns: field(v, "total_ns")?,
+                    max_ns: field(v, "max_ns")?,
+                });
+            }
+        }
+        if let Some(JsonValue::Obj(pairs)) = self.get("histograms") {
+            for (name, v) in pairs {
+                let mut buckets = Vec::new();
+                if let Some(JsonValue::Arr(items)) = v.get("buckets") {
+                    for item in items {
+                        match item {
+                            JsonValue::Arr(pair) if pair.len() == 2 => {
+                                let upper = pair[0]
+                                    .as_u64()
+                                    .ok_or_else(|| err(0, "bucket bound not an integer"))?;
+                                let count = pair[1]
+                                    .as_u64()
+                                    .ok_or_else(|| err(0, "bucket count not an integer"))?;
+                                buckets.push((upper, count));
+                            }
+                            _ => return Err(err(0, "bucket entry not a pair")),
+                        }
+                    }
+                }
+                report.histograms.push(HistogramStat {
+                    name: name.clone(),
+                    count: field(v, "count")?,
+                    sum: field(v, "sum")?,
+                    min: field(v, "min")?,
+                    max: field(v, "max")?,
+                    buckets,
+                });
+            }
+        }
+        Ok(report)
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn err(offset: usize, message: impl Into<String>) -> JsonError {
+    JsonError {
+        offset,
+        message: message.into(),
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), JsonError> {
+    if bytes[*pos..].starts_with(token.as_bytes()) {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(err(*pos, format!("expected `{token}`")))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| JsonValue::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| JsonValue::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(err(*pos, "expected `,` or `]`")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                let value = parse_value(bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(pairs));
+                    }
+                    _ => return Err(err(*pos, "expected `,` or `}`")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(err(*pos, "expected string"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let hex =
+                            std::str::from_utf8(hex).map_err(|_| err(*pos, "bad \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "bad \\u escape"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest =
+                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| err(*pos, "invalid UTF-8"))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| err(start, "bad number"))?;
+    if text.is_empty() {
+        return Err(err(start, "expected value"));
+    }
+    if !text.contains(['.', 'e', 'E', '-']) {
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(JsonValue::Int(n));
+        }
+    }
+    text.parse::<f64>()
+        .map(JsonValue::Float)
+        .map_err(|_| err(start, "bad number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trips() {
+        let v = JsonValue::Obj(vec![
+            ("a".into(), JsonValue::Int(42)),
+            (
+                "b".into(),
+                JsonValue::Arr(vec![JsonValue::Bool(true), JsonValue::Null]),
+            ),
+            (
+                "c".into(),
+                JsonValue::Str("weird \"quotes\"\nand lines".into()),
+            ),
+            ("d".into(), JsonValue::Float(1.5)),
+        ]);
+        let text = v.render();
+        assert_eq!(JsonValue::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn integral_floats_keep_their_type() {
+        let v = JsonValue::Arr(vec![JsonValue::Float(2.0), JsonValue::Int(2)]);
+        let text = v.render();
+        let back = JsonValue::parse(&text).unwrap();
+        assert_eq!(back, v, "rendered as {text}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("12 34").is_err());
+        assert!(JsonValue::parse("\"open").is_err());
+    }
+
+    #[test]
+    fn report_survives_json_round_trip() {
+        let report = Report {
+            counters: vec![("dse/iteration".into(), 17), ("eval/cache/hit".into(), 3)],
+            timers: vec![TimerStat {
+                name: "eval/simulate".into(),
+                count: 5,
+                total_ns: 123_456_789,
+                max_ns: 99_999_999,
+            }],
+            histograms: vec![HistogramStat {
+                name: "eval/sim_latency_us".into(),
+                count: 5,
+                sum: 1234,
+                min: 7,
+                max: 900,
+                buckets: vec![(7, 1), (255, 2), (1023, 2)],
+            }],
+        };
+        let json = report.to_json();
+        let back = Report::from_json(&json).expect("parses");
+        assert_eq!(back, report);
+    }
+}

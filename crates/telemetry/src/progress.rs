@@ -1,0 +1,124 @@
+//! Campaign progress events and sinks.
+
+use std::sync::Mutex;
+
+/// A point-in-time campaign progress event.
+///
+/// Emitted by the evaluator after every real (uncached) simulation, and
+/// by campaign drivers at iteration boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Progress {
+    /// Who emitted the event (method label, e.g. `"archexplorer"`).
+    pub source: String,
+    /// Simulations completed so far.
+    pub sims_done: u64,
+    /// Total simulation budget for the campaign (0 when unbounded).
+    pub sim_budget: u64,
+    /// Current hypervolume of the Pareto frontier (0 when not tracked).
+    pub hypervolume: f64,
+    /// Best `Perf²/(Power·Area)` trade-off seen so far (0 when none).
+    pub best_tradeoff: f64,
+}
+
+/// Receives [`Progress`] events. Implementations must be cheap and
+/// non-blocking: they run inline on the simulation worker threads.
+pub trait ProgressSink: Send + Sync {
+    /// Called once per progress event, in emission order per thread.
+    fn on_progress(&self, event: &Progress);
+}
+
+/// Handle returned by [`crate::Registry::add_sink`]; pass back to
+/// [`crate::Registry::remove_sink`] to detach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkId(pub(crate) u64);
+
+/// A sink that stores every event — the test/inspection workhorse.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    events: Mutex<Vec<Progress>>,
+}
+
+impl CollectingSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events received so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when no events have been received.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all events received so far.
+    pub fn events(&self) -> Vec<Progress> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// The most recent event, if any.
+    pub fn last(&self) -> Option<Progress> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .last()
+            .cloned()
+    }
+
+    /// The largest `sims_done` across all events (0 when empty).
+    pub fn max_sims_done(&self) -> u64 {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|p| p.sims_done)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl ProgressSink for CollectingSink {
+    fn on_progress(&self, event: &Progress) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn collecting_sink_accumulates_across_threads() {
+        let sink = Arc::new(CollectingSink::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let sink = Arc::clone(&sink);
+                s.spawn(move || {
+                    for i in 0..25 {
+                        sink.on_progress(&Progress {
+                            source: "test".into(),
+                            sims_done: t * 25 + i + 1,
+                            sim_budget: 100,
+                            hypervolume: 0.0,
+                            best_tradeoff: 0.0,
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.len(), 100);
+        assert_eq!(sink.max_sims_done(), 100);
+        assert!(!sink.is_empty());
+        assert!(sink.last().is_some());
+    }
+}

@@ -275,20 +275,17 @@ impl<'a> Synth<'a> {
         for _ in 0..spec.code_instrs {
             let u = rng.unit();
             let mut acc = 0.0;
-            let kind = if {
-                acc += mix.load;
+            // Walks the mix's cumulative distribution: each call adds one
+            // class's probability mass and tests whether `u` fell in it.
+            let mut hits = |p: f64| {
+                acc += p;
                 u < acc
-            } {
+            };
+            let kind = if hits(mix.load) {
                 SlotKind::Op(OpClass::Load)
-            } else if {
-                acc += mix.store;
-                u < acc
-            } {
+            } else if hits(mix.store) {
                 SlotKind::Op(OpClass::Store)
-            } else if {
-                acc += mix.branch;
-                u < acc
-            } {
+            } else if hits(mix.branch) {
                 let b = rng.unit();
                 let br = &spec.branches;
                 if b < br.biased_fraction {
@@ -298,40 +295,19 @@ impl<'a> Synth<'a> {
                 } else {
                     SlotKind::Branch(BranchKind::Random)
                 }
-            } else if {
-                acc += mix.call_ret / 2.0;
-                u < acc
-            } {
+            } else if hits(mix.call_ret / 2.0) {
                 SlotKind::Call
-            } else if {
-                acc += mix.call_ret / 2.0;
-                u < acc
-            } {
+            } else if hits(mix.call_ret / 2.0) {
                 SlotKind::Ret
-            } else if {
-                acc += mix.fp_alu;
-                u < acc
-            } {
+            } else if hits(mix.fp_alu) {
                 SlotKind::Op(OpClass::FpAlu)
-            } else if {
-                acc += mix.fp_mult;
-                u < acc
-            } {
+            } else if hits(mix.fp_mult) {
                 SlotKind::Op(OpClass::FpMult)
-            } else if {
-                acc += mix.fp_div;
-                u < acc
-            } {
+            } else if hits(mix.fp_div) {
                 SlotKind::Op(OpClass::FpDiv)
-            } else if {
-                acc += mix.int_mult;
-                u < acc
-            } {
+            } else if hits(mix.int_mult) {
                 SlotKind::Op(OpClass::IntMult)
-            } else if {
-                acc += mix.int_div;
-                u < acc
-            } {
+            } else if hits(mix.int_div) {
                 SlotKind::Op(OpClass::IntDiv)
             } else {
                 SlotKind::Op(OpClass::IntAlu)
@@ -411,7 +387,7 @@ impl<'a> Synth<'a> {
             } else if u < mem.hot_fraction + (1.0 - mem.hot_fraction) * 0.6 {
                 // Warm, L2-resident tier: real programs keep a medium
                 // working set between the hot core and the cold bulk.
-                let warm = mem.footprint_bytes.min(1536 << 10).max(64);
+                let warm = mem.footprint_bytes.clamp(64, 1536 << 10);
                 0x1_0000 + (self.rng.below(warm) & !7)
             } else {
                 0x1_0000 + (self.rng.below(mem.footprint_bytes.max(64)) & !7)
@@ -445,7 +421,7 @@ impl<'a> Synth<'a> {
                                 !dir
                             }
                         }
-                        BranchKind::Patterned(period) => visit % period as u64 == 0,
+                        BranchKind::Patterned(period) => visit.is_multiple_of(period as u64),
                         BranchKind::Random => self.rng.unit() < 0.5,
                     };
                     // Static target per slot: short backward edges are
@@ -632,6 +608,9 @@ mod tests {
                 }
             }
         }
-        assert!(chained > 200, "short-distance spec should chain often, got {chained}");
+        assert!(
+            chained > 200,
+            "short-distance spec should chain often, got {chained}"
+        );
     }
 }

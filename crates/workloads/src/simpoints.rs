@@ -129,7 +129,10 @@ pub fn pick_simpoints(
     k: usize,
     seed: u64,
 ) -> Vec<Simpoint> {
-    assert!(interval_len > 0 && trace.len() >= interval_len, "trace shorter than one interval");
+    assert!(
+        interval_len > 0 && trace.len() >= interval_len,
+        "trace shorter than one interval"
+    );
     assert!(k > 0, "need at least one simpoint");
     let n_intervals = trace.len() / interval_len;
     let dims = 64;
@@ -201,8 +204,14 @@ mod tests {
             ..WorkloadSpec::balanced()
         };
         PhasedWorkload::new(vec![
-            Phase { spec: fp, instrs: 2_000 },
-            Phase { spec: mem, instrs: 2_000 },
+            Phase {
+                spec: fp,
+                instrs: 2_000,
+            },
+            Phase {
+                spec: mem,
+                instrs: 2_000,
+            },
         ])
         .generate(n, 5)
     }
@@ -219,7 +228,11 @@ mod tests {
         // Equal-length phases get balanced-ish weights (the CFG walk gives
         // intervals of the same phase some variance of their own).
         for sp in &sps {
-            assert!((0.15..=0.85).contains(&sp.weight), "weight {} degenerate", sp.weight);
+            assert!(
+                (0.15..=0.85).contains(&sp.weight),
+                "weight {} degenerate",
+                sp.weight
+            );
         }
         let total: f64 = sps.iter().map(|s| s.weight).sum();
         assert!((total - 1.0).abs() < 1e-9);

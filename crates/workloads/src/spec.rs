@@ -47,13 +47,9 @@ impl Workload {
     /// Synthesises a trace of `n` instructions; seed is derived from the
     /// workload's name so different workloads differ even at equal seeds.
     pub fn generate(&self, n: usize, seed: u64) -> Vec<Instruction> {
-        let name_hash = self
-            .id
-            .0
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-            });
+        let name_hash = self.id.0.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        });
         self.spec.generate(n, seed ^ name_hash)
     }
 }
@@ -63,14 +59,7 @@ fn wl(name: &'static str, spec: WorkloadSpec) -> Workload {
     Workload::new(name, spec)
 }
 
-fn mix(
-    load: f64,
-    store: f64,
-    branch: f64,
-    fp: f64,
-    fp_mult: f64,
-    int_mult: f64,
-) -> OpMix {
+fn mix(load: f64, store: f64, branch: f64, fp: f64, fp_mult: f64, int_mult: f64) -> OpMix {
     OpMix {
         load,
         store,
@@ -84,13 +73,7 @@ fn mix(
     }
 }
 
-fn spec_of(
-    m: OpMix,
-    dep: f64,
-    br: BranchProfile,
-    mem: MemoryProfile,
-    code: u32,
-) -> WorkloadSpec {
+fn spec_of(m: OpMix, dep: f64, br: BranchProfile, mem: MemoryProfile, code: u32) -> WorkloadSpec {
     WorkloadSpec {
         mix: m,
         mean_dep_distance: dep,
@@ -101,7 +84,13 @@ fn spec_of(
 }
 
 fn mem(footprint: u64, streaming: f64, stride: u64) -> MemoryProfile {
-    mem_hot(footprint, streaming, stride, 0.92, (16 * KB).min(footprint / 2).max(4 * KB))
+    mem_hot(
+        footprint,
+        streaming,
+        stride,
+        0.92,
+        (16 * KB).min(footprint / 2).max(4 * KB),
+    )
 }
 
 fn mem_hot(
@@ -263,7 +252,7 @@ pub fn spec06_suite() -> Vec<Workload> {
                 mix(0.24, 0.09, 0.14, 0.18, 0.12, 0.0),
                 7.0,
                 BranchProfile::predictable(),
-                mem(1 * MB, 0.6, 8),
+                mem(MB, 0.6, 8),
                 7000,
             ),
         ),
@@ -456,7 +445,7 @@ pub fn spec17_suite() -> Vec<Workload> {
                 mix(0.25, 0.08, 0.06, 0.24, 0.16, 0.0),
                 12.0,
                 BranchProfile::predictable(),
-                mem(1 * MB, 0.8, 8),
+                mem(MB, 0.8, 8),
                 2000,
             ),
         ),

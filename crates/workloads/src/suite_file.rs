@@ -124,7 +124,9 @@ pub fn parse_suite(text: &str) -> Result<Vec<Workload>, SuiteFileError> {
             line: lno,
             reason: "expected key = value".into(),
         })?;
-        let current = out.last_mut().ok_or(SuiteFileError::KeyOutsideSection { line: lno })?;
+        let current = out
+            .last_mut()
+            .ok_or(SuiteFileError::KeyOutsideSection { line: lno })?;
         let key = key.trim();
         let value = value.trim();
         let fval = || -> Result<f64, SuiteFileError> {

@@ -5,8 +5,8 @@
 //! cargo run -p archx-examples --release --bin dse_shootout [SIM_BUDGET]
 //! ```
 
-use archexplorer::dse::prelude::*;
 use archexplorer::dse::campaign::Campaign;
+use archexplorer::dse::prelude::*;
 use archexplorer::workloads::spec06_suite;
 
 fn main() {
@@ -23,7 +23,10 @@ fn main() {
         ..Default::default()
     };
 
-    println!("running {} methods, {budget} simulations each...", Method::ALL.len());
+    println!(
+        "running {} methods, {budget} simulations each...",
+        Method::ALL.len()
+    );
     let campaign = Campaign::run(&Method::ALL, &space, &suite, &cfg);
 
     let r = RefPoint::default();

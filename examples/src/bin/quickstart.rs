@@ -30,11 +30,13 @@ fn main() {
     );
 
     // 2. Where do the cycles go? (critical-path bottleneck report)
-    let report = session.analyze(&baseline);
+    let report = session.analyze(&baseline).expect("analysis");
     println!("{}", report.render());
 
     // 3. Let ArchExplorer reassign hardware for 120 simulations.
-    let log = session.explore(Method::ArchExplorer, 120);
+    let log = session
+        .explore(Method::ArchExplorer, 120)
+        .expect("exploration");
     let best = log.best_tradeoff().expect("explored at least one design");
     println!(
         "after {} designs ({} simulations):",

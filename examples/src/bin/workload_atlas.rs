@@ -34,7 +34,11 @@ fn main() {
                 1000.0 * r.stats.l2_misses as f64 / r.stats.committed.max(1) as f64,
             );
         }
-        println!("{:<18} {:>6.4}\n", "suite average IPC", sum / suite.len() as f64);
+        println!(
+            "{:<18} {:>6.4}\n",
+            "suite average IPC",
+            sum / suite.len() as f64
+        );
     }
     println!("(paper Table 1 reports baseline IPC 0.9418 on its SPEC17 Simpoints)");
 }

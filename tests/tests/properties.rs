@@ -19,34 +19,36 @@ fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
         (64u64..8 << 20),
         64u32..4096,
     )
-        .prop_map(|(load, store, branch, dep, streaming, footprint, code)| WorkloadSpec {
-            mix: OpMix {
-                load,
-                store,
-                branch,
-                call_ret: 0.01,
-                fp_alu: 0.05,
-                fp_mult: 0.03,
-                fp_div: 0.002,
-                int_mult: 0.02,
-                int_div: 0.002,
+        .prop_map(
+            |(load, store, branch, dep, streaming, footprint, code)| WorkloadSpec {
+                mix: OpMix {
+                    load,
+                    store,
+                    branch,
+                    call_ret: 0.01,
+                    fp_alu: 0.05,
+                    fp_mult: 0.03,
+                    fp_div: 0.002,
+                    int_mult: 0.02,
+                    int_div: 0.002,
+                },
+                mean_dep_distance: dep,
+                branches: BranchProfile {
+                    biased_fraction: 0.7,
+                    bias: 0.9,
+                    patterned_fraction: 0.2,
+                    pattern_period: 3,
+                },
+                memory: MemoryProfile {
+                    footprint_bytes: footprint,
+                    streaming_fraction: streaming,
+                    stride: 8,
+                    hot_fraction: 0.8,
+                    hot_bytes: (footprint / 2).max(64),
+                },
+                code_instrs: code,
             },
-            mean_dep_distance: dep,
-            branches: BranchProfile {
-                biased_fraction: 0.7,
-                bias: 0.9,
-                patterned_fraction: 0.2,
-                pattern_period: 3,
-            },
-            memory: MemoryProfile {
-                footprint_bytes: footprint,
-                streaming_fraction: streaming,
-                stride: 8,
-                hot_fraction: 0.8,
-                hot_bytes: (footprint / 2).max(64),
-            },
-            code_instrs: code,
-        })
+        )
 }
 
 fn arb_design() -> impl Strategy<Value = MicroArch> {

@@ -23,8 +23,14 @@ fn starving_the_rob_raises_its_contribution() {
     small.iq_entries = 80;
     let mut big = small;
     big.rob_entries = 256;
-    let c_small = s.analyze(&small).contribution(BottleneckSource::Rob);
-    let c_big = s.analyze(&big).contribution(BottleneckSource::Rob);
+    let c_small = s
+        .analyze(&small)
+        .expect("analysis")
+        .contribution(BottleneckSource::Rob);
+    let c_big = s
+        .analyze(&big)
+        .expect("analysis")
+        .contribution(BottleneckSource::Rob);
     assert!(
         c_small > c_big,
         "ROB contribution must fall when the ROB grows: {c_small} vs {c_big}"
@@ -68,7 +74,7 @@ fn contribution_guides_growth_usefully() {
     let s = session();
     let space = s.space().clone();
     let arch = space.snap(&MicroArch::tiny());
-    let report = s.analyze(&arch);
+    let report = s.analyze(&arch).expect("analysis");
     let base_ipc = s.evaluate(&arch).ppa.ipc;
 
     let ranked: Vec<_> = report

@@ -1,0 +1,167 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the benchmarking API surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups, `iter`,
+//! `iter_batched`) with a simple measurement loop: each benchmark warms
+//! up once, then runs until ~200 ms or the sample budget is exhausted,
+//! and prints the mean wall-clock time per iteration. No statistics,
+//! plots, or comparisons — enough to eyeball hot-path regressions and to
+//! measure telemetry overhead offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Measurement driver handed to each benchmark function.
+#[derive(Debug)]
+pub struct Bencher {
+    label: String,
+    samples: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(label: String, samples: u64) -> Self {
+        Bencher {
+            label,
+            samples,
+            budget: Duration::from_millis(200),
+        }
+    }
+
+    fn report(&self, total: Duration, iters: u64) {
+        let mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+        println!(
+            "bench: {:<44} {mean_ns:>14.0} ns/iter ({iters} iters)",
+            self.label
+        );
+    }
+
+    /// Times a closure, running it repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.samples && start.elapsed() < self.budget {
+            black_box(f());
+            iters += 1;
+        }
+        self.report(start.elapsed(), iters);
+    }
+
+    /// Times a closure over fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut f: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(f(setup())); // warm-up
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall = Instant::now();
+        while iters < self.samples && wall.elapsed() < self.budget * 2 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(f(input));
+            measured += t0.elapsed();
+            iters += 1;
+        }
+        self.report(measured, iters);
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration budget.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n as u64;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Ends the group (restores the default sample size).
+    pub fn finish(&mut self) {
+        self.criterion.sample_size = Criterion::DEFAULT_SAMPLES;
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: Self::DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    const DEFAULT_SAMPLES: u64 = 30;
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher::new(id.to_string(), self.sample_size);
+        f(&mut b);
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,65 @@
+//! Offline stand-in for `crossbeam`, covering the scoped-thread API the
+//! workspace uses (`crossbeam::scope` + `Scope::spawn`), implemented on
+//! `std::thread::scope` (stable since Rust 1.63).
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Error type of [`scope`]: the payload of a panicking child thread.
+pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+/// A scope handle passed to [`scope`]'s closure and to spawned children.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope handle so
+    /// children can spawn further children (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which threads borrowing from the environment can be
+/// spawned; all children are joined before this returns. Returns `Err`
+/// with the panic payload when any child panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let total = AtomicU64::new(0);
+        let r = scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| total.fetch_add(1, Ordering::Relaxed));
+            }
+        });
+        assert!(r.is_ok());
+        assert_eq!(total.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

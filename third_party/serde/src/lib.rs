@@ -1,0 +1,29 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace tags its data types with `#[derive(Serialize,
+//! Deserialize)]` for downstream consumers, but nothing in the tree
+//! actually serialises (there is no `serde_json` or other format crate).
+//! This stand-in keeps those annotations compiling offline: the traits
+//! are markers with blanket impls, and the re-exported derives (see the
+//! sibling `serde_derive` stub) accept `#[serde(...)]` attributes and
+//! expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Deserialisation helpers.
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: Sized {}
+
+    impl<T> DeserializeOwned for T {}
+}
+
+pub use serde_derive::{Deserialize, Serialize};
