@@ -26,11 +26,11 @@ fn bench_simulator(c: &mut Criterion) {
     let trace = suite[0].generate(TRACE_LEN, 1);
     let core = OooCore::new(MicroArch::baseline());
     g.bench_function("bzip2_like_10k", |b| {
-        b.iter(|| black_box(core.run(&trace)).stats.cycles)
+        b.iter(|| black_box(core.run(&trace).expect("simulates")).stats.cycles)
     });
     let mixed = trace_gen::mixed_workload(TRACE_LEN, 3);
     g.bench_function("mixed_10k", |b| {
-        b.iter(|| black_box(core.run(&mixed)).stats.cycles)
+        b.iter(|| black_box(core.run(&mixed).expect("simulates")).stats.cycles)
     });
     g.finish();
 }
@@ -39,7 +39,9 @@ fn bench_deg(c: &mut Criterion) {
     let mut g = c.benchmark_group("deg");
     g.sample_size(20);
     let core = OooCore::new(MicroArch::baseline());
-    let result = core.run(&trace_gen::mixed_workload(TRACE_LEN, 5));
+    let result = core
+        .run(&trace_gen::mixed_workload(TRACE_LEN, 5))
+        .expect("simulates");
     g.bench_function("build_10k", |b| b.iter(|| black_box(build_deg(&result))));
     let base = build_deg(&result);
     g.bench_function("induce_10k", |b| {
@@ -62,7 +64,9 @@ fn bench_deg(c: &mut Criterion) {
 
 fn bench_power(c: &mut Criterion) {
     let core = OooCore::new(MicroArch::baseline());
-    let result = core.run(&trace_gen::mixed_workload(TRACE_LEN, 5));
+    let result = core
+        .run(&trace_gen::mixed_workload(TRACE_LEN, 5))
+        .expect("simulates");
     let model = PowerModel::default();
     let arch = MicroArch::baseline();
     c.bench_function("power/evaluate", |b| {
@@ -107,7 +111,9 @@ fn bench_ml(c: &mut Criterion) {
 
 fn bench_trace_io(c: &mut Criterion) {
     let core = OooCore::new(MicroArch::baseline());
-    let result = core.run(&trace_gen::mixed_workload(TRACE_LEN, 7));
+    let result = core
+        .run(&trace_gen::mixed_workload(TRACE_LEN, 7))
+        .expect("simulates");
     let text = extern_trace::export(&result);
     let mut g = c.benchmark_group("trace_io");
     g.sample_size(20);
@@ -122,7 +128,9 @@ fn bench_trace_io(c: &mut Criterion) {
 
 fn bench_analysis(c: &mut Criterion) {
     let core = OooCore::new(MicroArch::baseline());
-    let result = core.run(&trace_gen::mixed_workload(TRACE_LEN, 9));
+    let result = core
+        .run(&trace_gen::mixed_workload(TRACE_LEN, 9))
+        .expect("simulates");
     let mut deg = induce(build_deg(&result));
     let path = critical::critical_path_mut(&mut deg);
     let mut g = c.benchmark_group("analysis");

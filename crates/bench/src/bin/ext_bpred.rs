@@ -41,7 +41,7 @@ fn main() {
         for kind in [BpKind::Bimodal, BpKind::GShare, BpKind::Tournament] {
             let mut arch = MicroArch::baseline();
             arch.bp_kind = kind;
-            let r = OooCore::new(arch).run(&trace);
+            let r = OooCore::new(arch).run(&trace).expect("simulates");
             let mut deg = induce(build_deg(&r));
             let path = archexplorer::deg::critical::critical_path_mut(&mut deg);
             let rep = archexplorer::deg::bottleneck::analyze(&deg, &path);

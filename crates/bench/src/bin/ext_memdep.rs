@@ -37,8 +37,8 @@ fn main() {
     let (mut c_sum, mut s_sum) = (0.0, 0.0);
     for w in &suite {
         let trace = w.generate(instrs, 1);
-        let cons = OooCore::new(cons_arch).run(&trace);
-        let spec = OooCore::new(spec_arch).run(&trace);
+        let cons = OooCore::new(cons_arch).run(&trace).expect("simulates");
+        let spec = OooCore::new(spec_arch).run(&trace).expect("simulates");
         c_sum += cons.stats.ipc();
         s_sum += spec.stats.ipc();
         let mut deg = induce(build_deg(&spec));

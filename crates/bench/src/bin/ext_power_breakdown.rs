@@ -24,7 +24,9 @@ fn main() {
         .unwrap_or(&suite[0]);
 
     let arch = MicroArch::baseline();
-    let r = OooCore::new(arch).run(&workload.generate(instrs, 1));
+    let r = OooCore::new(arch)
+        .run(&workload.generate(instrs, 1))
+        .expect("simulates");
     let model = PowerModel::default();
     let ppa = model.evaluate(&arch, &r.stats);
     let mut breakdown = model.power_breakdown(&arch, &r.stats);

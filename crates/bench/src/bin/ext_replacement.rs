@@ -35,7 +35,7 @@ fn main() {
         for policy in [ReplPolicy::Lru, ReplPolicy::Fifo, ReplPolicy::Random] {
             let mut arch = MicroArch::baseline();
             arch.replacement = policy;
-            let r = OooCore::new(arch).run(&trace);
+            let r = OooCore::new(arch).run(&trace).expect("simulates");
             let mut deg = induce(build_deg(&r));
             let path = archexplorer::deg::critical::critical_path_mut(&mut deg);
             let rep = archexplorer::deg::bottleneck::analyze(&deg, &path);

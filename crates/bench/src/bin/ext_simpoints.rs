@@ -98,7 +98,7 @@ fn main() {
     ]);
     for (name, program) in &programs {
         let trace = program.generate(instrs, 1);
-        let full = core.run(&trace);
+        let full = core.run(&trace).expect("simulates");
         let full_cpi = full.stats.cycles as f64 / full.stats.committed as f64;
 
         let sps = pick_simpoints(&trace, interval, k, 7);
@@ -113,7 +113,7 @@ fn main() {
                 let lo = sp.start - pre;
                 let hi = sp.start + sp.len;
                 simulated += hi - lo;
-                let r = core.run(&trace[lo..hi]);
+                let r = core.run(&trace[lo..hi]).expect("simulates");
                 let end = r.trace.events.last().expect("non-empty").c;
                 let begin = if pre > 0 {
                     r.trace.events[pre - 1].c

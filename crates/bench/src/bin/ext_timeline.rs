@@ -49,7 +49,9 @@ fn main() {
         },
     ]);
 
-    let r = OooCore::new(MicroArch::baseline()).run(&program.generate(instrs, 1));
+    let r = OooCore::new(MicroArch::baseline())
+        .run(&program.generate(instrs, 1))
+        .expect("simulates");
     let mut deg = induce(build_deg(&r));
     let path = archexplorer::deg::critical::critical_path_mut(&mut deg);
     let windows = timeline(&deg, &path, bins);

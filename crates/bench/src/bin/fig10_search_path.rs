@@ -39,7 +39,9 @@ fn main() {
     let opts = ReassignOptions::default();
     let mut prev_tradeoff = None::<f64>;
     for step in 0..=steps {
-        let e = evaluator.evaluate_with(&arch, Analysis::NewDeg);
+        let e = evaluator
+            .evaluate_with(&arch, Analysis::NewDeg)
+            .expect("baseline-derived designs evaluate");
         let report = e.report.as_ref().expect("analysis requested");
         println!("=== step {step}: {} ===", arch);
         println!(

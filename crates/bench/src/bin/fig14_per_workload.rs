@@ -22,6 +22,7 @@ fn main() {
         seed: args.get_u64("seed", 1),
         trace_seed: None,
         threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+        ..CampaignConfig::default()
     };
     let limit = args.get_usize("workloads", usize::MAX);
     let methods = [
@@ -55,7 +56,7 @@ fn main() {
         let mut t = Table::new(header);
         let evals: Vec<_> = best
             .iter()
-            .map(|(_, arch)| evaluator.evaluate(arch))
+            .map(|(_, arch)| evaluator.evaluate(arch).expect("winning designs evaluate"))
             .collect();
         let mut wins = vec![0usize; best.len()];
         for (wi, wl) in suite.iter().enumerate() {

@@ -85,7 +85,9 @@ fn main() {
     let mut ppas = Vec::with_capacity(designs);
     for _ in 0..designs {
         let arch = space.random(&mut rng);
-        let e = evaluator.evaluate(&arch);
+        let Ok(e) = evaluator.evaluate(&arch) else {
+            continue;
+        };
         feats.push(space.features(&arch));
         ppas.push(e.ppa);
     }

@@ -25,7 +25,7 @@ fn main() {
         .build();
 
     let baseline = MicroArch::baseline();
-    let base = session.evaluate(&baseline).ppa;
+    let base = session.evaluate(&baseline).expect("evaluates").ppa;
     println!(
         "baseline: IPC {:.4}, power {:.4} W, area {:.4} mm², trade-off {:.4}\n",
         base.ipc,
@@ -64,7 +64,7 @@ fn main() {
         if arch.validate().is_err() {
             continue;
         }
-        let ppa = session.evaluate(&arch).ppa;
+        let ppa = session.evaluate(&arch).expect("evaluates").ppa;
         t.row([
             label.to_string(),
             format!("{:.2}", 100.0 * ppa.ipc / base.ipc),

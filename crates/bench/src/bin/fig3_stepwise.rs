@@ -29,7 +29,9 @@ fn necessity(
     let mut ipc = 0.0;
     let mut pw = 0.0;
     for w in suite {
-        let r = OooCore::new(*arch).run(&w.generate(instrs, 1));
+        let r = OooCore::new(*arch)
+            .run(&w.generate(instrs, 1))
+            .expect("simulates");
         for i in 0..6 {
             stalls[i] += r.stats.rename_stall_cycles[i];
             occ[i] = occ[i].max(r.stats.avg_occupancy[i]);

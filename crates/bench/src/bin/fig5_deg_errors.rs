@@ -38,7 +38,7 @@ fn main() {
     ]);
     let mut worst: (f64, String) = (0.0, String::new());
     for w in &suite {
-        let r = core.run(&w.generate(instrs, 1));
+        let r = core.run(&w.generate(instrs, 1)).expect("simulates");
         let (est, _) = CalipersModel::from_arch(&arch).analyze(&r);
         let mut deg = induce(build_deg(&r));
         let path = critical_path(&deg);
@@ -73,7 +73,7 @@ fn main() {
         .iter()
         .find(|w| w.id.0.contains("hmmer"))
         .expect("suite contains hmmer");
-    let r = core.run(&hmmer.generate(instrs, 1));
+    let r = core.run(&hmmer.generate(instrs, 1)).expect("simulates");
     let (est, static_rep) = CalipersModel::from_arch(&arch).analyze(&r);
     let mut deg = induce(build_deg(&r));
     let path = archexplorer::deg::critical::critical_path_mut(&mut deg);

@@ -63,7 +63,7 @@ fn snippet() -> Vec<Instruction> {
 fn main() {
     let mut arch = MicroArch::tiny();
     arch.width = 2;
-    let result = OooCore::new(arch).run(&snippet());
+    let result = OooCore::new(arch).run(&snippet()).expect("simulates");
 
     println!("microexecution (cycles):");
     println!(

@@ -65,7 +65,7 @@ fn main() {
         ]);
     println!("Table 1: baseline microarchitecture\n{}", spec.to_text());
 
-    let eval = session.evaluate(&arch);
+    let eval = session.evaluate(&arch).expect("baseline evaluates");
     let mut out = Table::new(["metric", "measured", "paper"]);
     out.row([
         "IPC".to_string(),

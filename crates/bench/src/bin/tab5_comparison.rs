@@ -25,6 +25,7 @@ fn main() {
         seed: args.get_u64("seed", 1),
         trace_seed: None,
         threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+        ..CampaignConfig::default()
     };
     let limit = args.get_usize("workloads", usize::MAX);
     // Target = this fraction of the best final hypervolume across methods.

@@ -42,7 +42,7 @@ fn main() {
     for w in &suite {
         let trace = w.generate(instrs, 1);
         let t0 = Instant::now();
-        let result = core.run(&trace);
+        let result = core.run(&trace).expect("simulates");
         let sim_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         let t1 = Instant::now();

@@ -3,6 +3,7 @@
 //! ```text
 //! archx analyze  [suite=spec06|spec17] [workloads=N] [instrs=N] [PARAM=V ...]
 //! archx explore  [method=NAME] [budget=N] [suite=...] [instrs=N] [seed=N]
+//!                [--journal PATH | --resume PATH] [--cycle-budget N] [--retries N]
 //! archx export   [workload=NAME] [instrs=N] [seed=N]        # trace to stdout
 //! archx import   file=TRACE                                  # analyze external trace
 //! archx space                                                # design-space summary
@@ -14,9 +15,20 @@
 //! the process-wide telemetry report (span timers like `eval/simulate` and
 //! `eval/deg/build`, counters like `dse/iteration`, latency histograms) is
 //! printed to stderr as JSON or an aligned table.
+//!
+//! `explore` campaigns are crash-safe: `--journal PATH` appends every
+//! evaluation (design, per-workload PPA, analysis, outcome) to a JSONL
+//! write-ahead journal, and `--resume PATH` warm-starts the evaluator from
+//! it — journaled designs are replayed from the journal without
+//! re-simulation and the simulation budget picks up where the killed run
+//! left off. `--cycle-budget N` bounds each simulation; designs that
+//! deadlock, exceed the budget, or panic are retried once on a halved
+//! instruction window, then quarantined (reported, never Pareto-eligible)
+//! while the search continues.
 
 use archexplorer::deg::prelude::*;
-use archexplorer::dse::campaign::{run_method_observed, CampaignConfig};
+use archexplorer::dse::campaign::{build_evaluator, run_method_on, CampaignConfig};
+use archexplorer::dse::journal::Journal;
 use archexplorer::prelude::*;
 use archexplorer::sim::extern_trace;
 use archexplorer::telemetry;
@@ -30,6 +42,37 @@ fn parse_kv(args: &[String]) -> HashMap<String, String> {
                 .map(|(k, v)| (k.to_string(), v.to_string()))
         })
         .collect()
+}
+
+/// Rewrites GNU-style `--journal PATH`, `--resume PATH`, `--cycle-budget N`
+/// and `--retries N` (including their `--flag=value` forms) into the CLI's
+/// native `key=value` arguments.
+fn normalize_flags(args: &[String]) -> Result<Vec<String>, String> {
+    const FLAGS: [(&str, &str); 4] = [
+        ("--journal", "journal"),
+        ("--resume", "resume"),
+        ("--cycle-budget", "cycle_budget"),
+        ("--retries", "retries"),
+    ];
+    let mut out = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some((flag, key)) = FLAGS.iter().find(|(f, _)| {
+            arg == f || (arg.starts_with(f) && arg.as_bytes().get(f.len()) == Some(&b'='))
+        }) else {
+            out.push(arg.clone());
+            continue;
+        };
+        let value = match arg.split_once('=') {
+            Some((_, v)) => v.to_string(),
+            None => it
+                .next()
+                .ok_or_else(|| format!("{flag} needs a value"))?
+                .clone(),
+        };
+        out.push(format!("{key}={value}"));
+    }
+    Ok(out)
 }
 
 /// How the CLI renders the telemetry report after the command finishes.
@@ -123,7 +166,9 @@ fn cmd_analyze(kv: &HashMap<String, String>) -> Result<(), String> {
     }
     let evaluator = Evaluator::new(suite, get(kv, "instrs", 20_000), get(kv, "seed", 1));
     println!("design: {arch}");
-    let e = evaluator.evaluate_with(&arch, Analysis::NewDeg);
+    let e = evaluator
+        .evaluate_with(&arch, Analysis::NewDeg)
+        .map_err(|failure| format!("evaluation failed: {failure}"))?;
     println!(
         "IPC {:.4}  power {:.4} W  area {:.4} mm²  Perf²/(P×A) {:.4}\n",
         e.ppa.ipc,
@@ -162,6 +207,8 @@ fn cmd_explore(kv: &HashMap<String, String>) -> Result<(), String> {
         seed: get(kv, "seed", 1),
         trace_seed: None,
         threads: archexplorer::dse::default_threads(),
+        cycle_budget: kv.get("cycle_budget").and_then(|v| v.parse().ok()),
+        max_retries: get(kv, "retries", 1u32),
     };
     eprintln!(
         "exploring with {method} for {} simulations ({} workloads x {} instrs)...",
@@ -179,13 +226,63 @@ fn cmd_explore(kv: &HashMap<String, String>) -> Result<(), String> {
             );
         }
     }
-    let sink: Option<std::sync::Arc<dyn telemetry::ProgressSink>> = if get(kv, "progress", 0u8) == 1
-    {
-        Some(std::sync::Arc::new(StderrProgress))
-    } else {
-        None
-    };
-    let log = run_method_observed(method, &DesignSpace::table4(), &suite, &cfg, sink);
+    let evaluator = build_evaluator(&suite, &cfg);
+    if get(kv, "progress", 0u8) == 1 {
+        evaluator.set_progress_sink(std::sync::Arc::new(StderrProgress));
+    }
+    // The fingerprint pins everything the journal's replayed results
+    // depend on; mismatched resumes are rejected field-by-field.
+    let fp = evaluator.fingerprint(vec![
+        ("method".to_string(), method.to_string()),
+        ("search_seed".to_string(), cfg.seed.to_string()),
+    ]);
+    if kv.contains_key("journal") && kv.contains_key("resume") {
+        return Err(
+            "use journal=PATH for a fresh campaign or resume=PATH to continue one, not both".into(),
+        );
+    }
+    if let Some(path) = kv.get("resume") {
+        let (journal, records) = Journal::resume(path, &fp).map_err(|e| e.to_string())?;
+        let replayed = records.len();
+        let sims = evaluator.warm_start(records);
+        evaluator.set_journal(journal);
+        eprintln!(
+            "resumed {path}: {replayed} journaled evaluation(s) replayed, \
+             {sims}/{} simulations already spent",
+            cfg.sim_budget
+        );
+    } else if let Some(path) = kv.get("journal") {
+        let journal = Journal::create(path, &fp).map_err(|e| e.to_string())?;
+        evaluator.set_journal(journal);
+        eprintln!("journaling evaluations to {path}");
+    }
+    let log = run_method_on(
+        method,
+        &DesignSpace::table4(),
+        &evaluator,
+        cfg.sim_budget,
+        cfg.seed,
+    );
+    if let Some(e) = evaluator.journal_error() {
+        eprintln!("warning: journal writes failed ({e}); campaign continued unjournaled");
+    }
+    let quarantine = evaluator.quarantine();
+    if !quarantine.is_empty() {
+        eprintln!("quarantined {} design(s):", quarantine.len());
+        for q in &quarantine {
+            let wl = if q.workload.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", q.workload)
+            };
+            eprintln!("  {}{wl}: {} ({} attempts)", q.arch, q.error, q.attempts);
+        }
+    }
+    eprintln!(
+        "simulations spent: {} ({} retried)",
+        evaluator.sim_count(),
+        evaluator.retry_count()
+    );
     let best = log.best_tradeoff().ok_or("no designs explored")?;
     println!("explored {} designs", log.records.len());
     println!("best by Perf²/(P×A): {}", best.arch);
@@ -223,7 +320,9 @@ fn cmd_export(kv: &HashMap<String, String>) -> Result<(), String> {
         .find(|w| w.id.0.contains(name.as_str()))
         .ok_or_else(|| format!("no workload matching `{name}`"))?;
     let trace = workload.generate(get(kv, "instrs", 20_000), get(kv, "seed", 1));
-    let result = OooCore::new(arch).run(&trace);
+    let result = OooCore::new(arch)
+        .run(&trace)
+        .map_err(|e| format!("simulation failed: {e}"))?;
     print!("{}", extern_trace::export(&result));
     Ok(())
 }
@@ -273,6 +372,13 @@ fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let (args, mode) = match extract_telemetry(&raw) {
         Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let args = match normalize_flags(&args) {
+        Ok(args) => args,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;

@@ -3,7 +3,7 @@
 
 use archx_deg::BottleneckReport;
 use archx_dse::campaign::{run_method_observed, CampaignConfig, Method};
-use archx_dse::eval::{Analysis, DesignEval, Evaluator, RunLog};
+use archx_dse::eval::{Analysis, DesignEval, EvalFailure, Evaluator, RunLog, SimLimits};
 use archx_dse::space::DesignSpace;
 use archx_sim::MicroArch;
 use archx_telemetry::ProgressSink;
@@ -45,6 +45,16 @@ pub enum SessionError {
         /// The simulation budget it was given.
         sim_budget: u64,
     },
+    /// A design evaluation failed past its retry budget and was
+    /// quarantined (typed simulator error, worker panic, or non-finite
+    /// PPA).
+    EvaluationFailed {
+        /// The design that failed.
+        arch: MicroArch,
+        /// Why it failed and how many attempts were made (boxed to keep
+        /// the error type small on the happy path).
+        failure: Box<EvalFailure>,
+    },
 }
 
 impl std::fmt::Display for SessionError {
@@ -62,6 +72,9 @@ impl std::fmt::Display for SessionError {
                     "{method} explored no designs within a budget of {sim_budget} simulations"
                 )
             }
+            SessionError::EvaluationFailed { arch, failure } => {
+                write!(f, "evaluation of {arch} failed: {failure}")
+            }
         }
     }
 }
@@ -77,6 +90,8 @@ pub struct SessionBuilder {
     seed: u64,
     trace_seed: Option<u64>,
     threads: usize,
+    cycle_budget: Option<u64>,
+    max_retries: u32,
 }
 
 impl Default for SessionBuilder {
@@ -88,6 +103,8 @@ impl Default for SessionBuilder {
             seed: 1,
             trace_seed: None,
             threads: archx_dse::default_threads(),
+            cycle_budget: None,
+            max_retries: 1,
         }
     }
 }
@@ -130,6 +147,20 @@ impl SessionBuilder {
         self
     }
 
+    /// Hard per-simulation cycle budget (`None` = unlimited). Runs that
+    /// exceed it fail with a typed error instead of spinning forever.
+    pub fn cycle_budget(mut self, budget: Option<u64>) -> Self {
+        self.cycle_budget = budget;
+        self
+    }
+
+    /// Retries allowed per failed evaluation (each with a halved
+    /// instruction window) before the design is quarantined.
+    pub fn max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
     /// Builds the session (synthesises the workload traces).
     pub fn build(self) -> Session {
         let mut suite = self.suite.workloads();
@@ -143,7 +174,12 @@ impl SessionBuilder {
             self.instrs_per_workload,
             self.trace_seed.unwrap_or(self.seed),
         )
-        .with_threads(self.threads);
+        .with_threads(self.threads)
+        .with_limits(SimLimits {
+            cycle_budget: self.cycle_budget,
+            ..SimLimits::default()
+        })
+        .with_max_retries(self.max_retries);
         Session {
             space: DesignSpace::table4(),
             suite,
@@ -152,6 +188,8 @@ impl SessionBuilder {
             seed: self.seed,
             trace_seed: self.trace_seed,
             threads: self.threads,
+            cycle_budget: self.cycle_budget,
+            max_retries: self.max_retries,
         }
     }
 }
@@ -166,6 +204,8 @@ pub struct Session {
     seed: u64,
     trace_seed: Option<u64>,
     threads: usize,
+    cycle_budget: Option<u64>,
+    max_retries: u32,
 }
 
 impl Session {
@@ -190,8 +230,15 @@ impl Session {
     }
 
     /// Simulates a design over the suite and returns its PPA evaluation.
-    pub fn evaluate(&self, arch: &MicroArch) -> DesignEval {
-        self.evaluator.evaluate(arch)
+    /// A design that fails past its retry budget is quarantined and the
+    /// failure surfaced as [`SessionError::EvaluationFailed`].
+    pub fn evaluate(&self, arch: &MicroArch) -> Result<DesignEval, SessionError> {
+        self.evaluator
+            .evaluate(arch)
+            .map_err(|failure| SessionError::EvaluationFailed {
+                arch: *arch,
+                failure: Box::new(failure),
+            })
     }
 
     /// Full bottleneck analysis of a design (new DEG, merged over the
@@ -199,6 +246,10 @@ impl Session {
     pub fn analyze(&self, arch: &MicroArch) -> Result<BottleneckReport, SessionError> {
         self.evaluator
             .evaluate_with(arch, Analysis::NewDeg)
+            .map_err(|failure| SessionError::EvaluationFailed {
+                arch: *arch,
+                failure: Box::new(failure),
+            })?
             .report
             .ok_or(SessionError::MissingReport {
                 analysis: Analysis::NewDeg,
@@ -235,6 +286,8 @@ impl Session {
             seed: self.seed,
             trace_seed: self.trace_seed,
             threads: self.threads,
+            cycle_budget: self.cycle_budget,
+            max_retries: self.max_retries,
         };
         let log = run_method_observed(method, &self.space, &self.suite, &cfg, sink);
         if log.records.is_empty() {
@@ -269,7 +322,7 @@ mod tests {
     #[test]
     fn evaluate_and_analyze() {
         let s = tiny();
-        let e = s.evaluate(&MicroArch::baseline());
+        let e = s.evaluate(&MicroArch::baseline()).expect("evaluates");
         assert!(e.ppa.ipc > 0.0);
         let rep = s
             .analyze(&MicroArch::baseline())
@@ -333,9 +386,31 @@ mod tests {
         };
         // Same trace seed: identical workload traces, so the same design
         // evaluates identically regardless of the search seed.
-        let a = mk(1).evaluate(&MicroArch::baseline());
-        let b = mk(2).evaluate(&MicroArch::baseline());
+        let a = mk(1).evaluate(&MicroArch::baseline()).expect("evaluates");
+        let b = mk(2).evaluate(&MicroArch::baseline()).expect("evaluates");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cycle_budget_failure_surfaces_as_session_error() {
+        let s = Session::builder()
+            .workload_limit(1)
+            .instrs_per_workload(500)
+            .threads(1)
+            .cycle_budget(Some(3))
+            .max_retries(0)
+            .build();
+        let err = s
+            .evaluate(&MicroArch::baseline())
+            .expect_err("a 3-cycle budget cannot finish any workload");
+        match &err {
+            SessionError::EvaluationFailed { failure, .. } => {
+                assert_eq!(failure.error.tag(), "cycle_budget");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        assert!(err.to_string().contains("cycle budget"));
+        assert_eq!(s.evaluator().quarantine_len(), 1);
     }
 
     #[test]

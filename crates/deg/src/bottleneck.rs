@@ -381,7 +381,7 @@ mod tests {
     use archx_sim::{trace_gen, MicroArch, OooCore};
 
     fn report_for(trace: &[archx_sim::Instruction], arch: MicroArch) -> BottleneckReport {
-        let r = OooCore::new(arch).run(trace);
+        let r = OooCore::new(arch).run(trace).expect("simulates");
         let mut deg = induce(build_deg(&r));
         let path = critical_path_mut(&mut deg);
         analyze(&deg, &path)
@@ -516,7 +516,9 @@ mod tests {
 
     #[test]
     fn timeline_bins_partition_the_runtime() {
-        let r = OooCore::new(MicroArch::baseline()).run(&trace_gen::mixed_workload(2_000, 31));
+        let r = OooCore::new(MicroArch::baseline())
+            .run(&trace_gen::mixed_workload(2_000, 31))
+            .expect("simulates");
         let mut deg = induce(build_deg(&r));
         let path = critical_path_mut(&mut deg);
         let bins = timeline(&deg, &path, 8);
@@ -546,7 +548,9 @@ mod tests {
                     i
                 }),
         );
-        let r = OooCore::new(MicroArch::baseline()).run(&instrs);
+        let r = OooCore::new(MicroArch::baseline())
+            .run(&instrs)
+            .expect("simulates");
         let mut deg = induce(build_deg(&r));
         let path = critical_path_mut(&mut deg);
         let bins = timeline(&deg, &path, 4);

@@ -127,7 +127,9 @@ mod tests {
     use archx_sim::{trace_gen, MicroArch, OooCore};
 
     fn run(n: usize) -> SimResult {
-        OooCore::new(MicroArch::baseline()).run(&trace_gen::mixed_workload(n, 7))
+        OooCore::new(MicroArch::baseline())
+            .run(&trace_gen::mixed_workload(n, 7))
+            .expect("simulates")
     }
 
     #[test]
@@ -161,7 +163,9 @@ mod tests {
 
     #[test]
     fn mispredict_edges_have_dynamic_weights() {
-        let r = OooCore::new(MicroArch::baseline()).run(&trace_gen::random_branches(5_000, 3));
+        let r = OooCore::new(MicroArch::baseline())
+            .run(&trace_gen::random_branches(5_000, 3))
+            .expect("simulates");
         let g = build_deg(&r);
         let mut weights: Vec<u64> = g
             .edges()
@@ -195,7 +199,9 @@ mod tests {
     fn resource_edges_appear_under_pressure() {
         let mut arch = MicroArch::tiny();
         arch.rob_entries = 32;
-        let r = OooCore::new(arch).run(&trace_gen::pointer_chase(3_000, 16 << 20, 5));
+        let r = OooCore::new(arch)
+            .run(&trace_gen::pointer_chase(3_000, 16 << 20, 5))
+            .expect("simulates");
         let g = build_deg(&r);
         let has_resource = g
             .edges()

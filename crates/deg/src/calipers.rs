@@ -278,7 +278,9 @@ mod tests {
     use archx_sim::{trace_gen, MicroArch, OooCore};
 
     fn run(trace: &[archx_sim::Instruction]) -> SimResult {
-        OooCore::new(MicroArch::baseline()).run(trace)
+        OooCore::new(MicroArch::baseline())
+            .run(trace)
+            .expect("simulates")
     }
 
     #[test]

@@ -122,7 +122,7 @@ mod tests {
     use archx_sim::{trace_gen, MicroArch, OooCore};
 
     fn path_for(trace: &[archx_sim::Instruction], arch: MicroArch) -> (CriticalPath, u64) {
-        let r = OooCore::new(arch).run(trace);
+        let r = OooCore::new(arch).run(trace).expect("simulates");
         let mut deg = induce(build_deg(&r));
         (critical_path_mut(&mut deg), r.trace.cycles)
     }
@@ -165,7 +165,9 @@ mod tests {
     fn path_cost_counts_only_costly_edges() {
         let (p, _) = path_for(&trace_gen::mixed_workload(1_000, 6), MicroArch::baseline());
         let mut deg_cost = 0;
-        let r = OooCore::new(MicroArch::baseline()).run(&trace_gen::mixed_workload(1_000, 6));
+        let r = OooCore::new(MicroArch::baseline())
+            .run(&trace_gen::mixed_workload(1_000, 6))
+            .expect("simulates");
         let deg = induce(build_deg(&r));
         for e in &p.edges {
             if e.kind.has_cost() {

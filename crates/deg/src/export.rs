@@ -120,7 +120,9 @@ mod tests {
     use archx_sim::{trace_gen, MicroArch, OooCore};
 
     fn sample() -> Deg {
-        let r = OooCore::new(MicroArch::tiny()).run(&trace_gen::mixed_workload(30, 3));
+        let r = OooCore::new(MicroArch::tiny())
+            .run(&trace_gen::mixed_workload(30, 3))
+            .expect("simulates");
         induce(build_deg(&r))
     }
 

@@ -186,13 +186,17 @@ mod tests {
     use archx_sim::{trace_gen, MicroArch, OooCore};
 
     fn induced_of(n: usize) -> Deg {
-        let r = OooCore::new(MicroArch::baseline()).run(&trace_gen::mixed_workload(n, 11));
+        let r = OooCore::new(MicroArch::baseline())
+            .run(&trace_gen::mixed_workload(n, 11))
+            .expect("simulates");
         induce(build_deg(&r))
     }
 
     #[test]
     fn induction_only_adds_virtual_edges() {
-        let r = OooCore::new(MicroArch::baseline()).run(&trace_gen::mixed_workload(400, 11));
+        let r = OooCore::new(MicroArch::baseline())
+            .run(&trace_gen::mixed_workload(400, 11))
+            .expect("simulates");
         let base = build_deg(&r);
         let base_edges = base.edge_count();
         let ind = induce(base.clone());
@@ -239,7 +243,9 @@ mod tests {
     #[test]
     fn empty_skew_gets_direct_virtual_edge() {
         // A tiny independent trace may produce no skewed edges at all.
-        let r = OooCore::new(MicroArch::baseline()).run(&trace_gen::independent_int_ops(4));
+        let r = OooCore::new(MicroArch::baseline())
+            .run(&trace_gen::independent_int_ops(4))
+            .expect("simulates");
         let base = build_deg(&r);
         let had_skew = base.edges().iter().any(|e| e.kind.is_skewed());
         let ind = induce(base);

@@ -27,7 +27,7 @@
 //! use archx_sim::{MicroArch, OooCore, trace_gen};
 //! use archx_deg::prelude::*;
 //!
-//! let result = OooCore::new(MicroArch::baseline()).run(&trace_gen::mixed_workload(2_000, 1));
+//! let result = OooCore::new(MicroArch::baseline()).run(&trace_gen::mixed_workload(2_000, 1)).expect("simulates");
 //! let deg = build_deg(&result);
 //! let induced = induce(deg);
 //! let path = critical_path(&induced);

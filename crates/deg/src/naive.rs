@@ -97,7 +97,9 @@ mod tests {
     fn blamed_cycles_exceed_runtime_under_overlap() {
         // A parallel workload overlaps heavily: naive accounting blames far
         // more cycles than actually elapsed.
-        let r = OooCore::new(MicroArch::baseline()).run(&trace_gen::mixed_workload(5_000, 3));
+        let r = OooCore::new(MicroArch::baseline())
+            .run(&trace_gen::mixed_workload(5_000, 3))
+            .expect("simulates");
         let (_, blamed) = naive_stall_report(&r);
         assert!(
             blamed > 2 * r.trace.cycles,
@@ -108,7 +110,9 @@ mod tests {
 
     #[test]
     fn distribution_is_normalised() {
-        let r = OooCore::new(MicroArch::tiny()).run(&trace_gen::pointer_chase(3_000, 8 << 20, 5));
+        let r = OooCore::new(MicroArch::tiny())
+            .run(&trace_gen::pointer_chase(3_000, 8 << 20, 5))
+            .expect("simulates");
         let (rep, _) = naive_stall_report(&r);
         let total = rep.total();
         assert!((total - 1.0).abs() < 1e-9, "contributions sum to {total}");
@@ -137,7 +141,7 @@ mod tests {
                 )
             })
             .collect();
-        let r = OooCore::new(arch).run(&trace);
+        let r = OooCore::new(arch).run(&trace).expect("simulates");
         let (naive, blamed) = naive_stall_report(&r);
         let mut deg = induce(build_deg(&r));
         let path = critical::critical_path_mut(&mut deg);

@@ -134,8 +134,8 @@ pub fn run_archexplorer(
         opts,
         "ArchExplorer",
         |ev, arch| {
-            let e = ev.evaluate_with(arch, crate::eval::Analysis::NewDeg);
-            (e.ppa, e.report.expect("analysis requested").clone())
+            ev.evaluate_with(arch, crate::eval::Analysis::NewDeg)
+                .map(|e| (e.ppa, e.report.expect("analysis requested")))
         },
     )
 }
@@ -152,7 +152,13 @@ pub fn run_bottleneck_driven<F>(
     mut analyze: F,
 ) -> RunLog
 where
-    F: FnMut(&Evaluator, &MicroArch) -> (archx_power::PpaResult, archx_deg::BottleneckReport),
+    F: FnMut(
+        &Evaluator,
+        &MicroArch,
+    ) -> Result<
+        (archx_power::PpaResult, archx_deg::BottleneckReport),
+        crate::eval::EvalFailure,
+    >,
 {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut log = RunLog::new(method);
@@ -170,7 +176,12 @@ where
             }
             _ => space.random(&mut rng),
         };
-        let (mut ppa, mut report) = analyze(evaluator, &current);
+        // A quarantined start design scores as non-Pareto (it never
+        // enters the log) and the round restarts from a fresh design —
+        // the attempt still consumed budget, so this always terminates.
+        let Ok((mut ppa, mut report)) = analyze(evaluator, &current) else {
+            continue 'outer;
+        };
         log.push(current, ppa, evaluator.sim_count());
         let mut best_score = opts.objective.score(&ppa);
         let mut stale = 0usize;
@@ -192,7 +203,11 @@ where
             }
             let prev_score = opts.objective.score(&ppa);
             let next = step.arch;
-            let (next_ppa, next_report) = analyze(evaluator, &next);
+            // A failed step design ends the trajectory (there is no
+            // bottleneck report to steer by); the search restarts.
+            let Ok((next_ppa, next_report)) = analyze(evaluator, &next) else {
+                continue 'outer;
+            };
             log.push(next, next_ppa, evaluator.sim_count());
 
             // Freeze rules (paper §4.3): growth that did not clearly pay is

@@ -88,7 +88,10 @@ pub fn run_boom_explorer(
         if !seen.insert(arch) {
             return;
         }
-        let e = evaluator.evaluate(&arch);
+        // A quarantined design trains nothing; its budget is spent.
+        let Ok(e) = evaluator.evaluate(&arch) else {
+            return;
+        };
         log.push(arch, e.ppa, evaluator.sim_count());
         x.push(space.features(&arch));
         y.push(e.ppa.tradeoff());

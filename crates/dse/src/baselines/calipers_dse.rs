@@ -21,8 +21,8 @@ pub fn run_calipers_dse(
         opts,
         "Calipers",
         |ev, arch| {
-            let e = ev.evaluate_with(arch, Analysis::Calipers);
-            (e.ppa, e.report.expect("analysis requested").clone())
+            ev.evaluate_with(arch, Analysis::Calipers)
+                .map(|e| (e.ppa, e.report.expect("analysis requested")))
         },
     )
 }

@@ -16,7 +16,11 @@ pub fn run_random_search(
     let mut log = RunLog::new("Random");
     while evaluator.sim_count() < sim_budget {
         let arch = space.random(&mut rng);
-        let e = evaluator.evaluate(&arch);
+        // Quarantined designs consumed budget but produce no record;
+        // the search just keeps sampling.
+        let Ok(e) = evaluator.evaluate(&arch) else {
+            continue;
+        };
         log.push(arch, e.ppa, evaluator.sim_count());
     }
     log

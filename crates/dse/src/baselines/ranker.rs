@@ -60,7 +60,10 @@ pub fn run_archranker(
         if !seen.insert(arch) {
             return;
         }
-        let e = evaluator.evaluate(&arch);
+        // A quarantined design trains nothing; its budget is spent.
+        let Ok(e) = evaluator.evaluate(&arch) else {
+            return;
+        };
         log.push(arch, e.ppa, evaluator.sim_count());
         evaluated.push((space.features(&arch), e.ppa.tradeoff()));
     };

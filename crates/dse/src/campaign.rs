@@ -9,7 +9,7 @@ use crate::baselines::ranker::RankerOptions;
 use crate::baselines::{
     run_adaboost, run_archranker, run_boom_explorer, run_calipers_dse, run_random_search,
 };
-use crate::eval::{Evaluator, RunLog};
+use crate::eval::{Evaluator, RunLog, SimLimits};
 use crate::pareto::RefPoint;
 use crate::space::DesignSpace;
 use archx_workloads::Workload;
@@ -83,6 +83,13 @@ pub struct CampaignConfig {
     pub trace_seed: Option<u64>,
     /// Worker threads per evaluator.
     pub threads: usize,
+    /// Per-simulation cycle budget (`None` = unlimited). Designs that
+    /// exceed it fail as data and are quarantined instead of hanging the
+    /// campaign.
+    pub cycle_budget: Option<u64>,
+    /// Retries (with a halved instruction window each time) before a
+    /// failing design is quarantined.
+    pub max_retries: u32,
 }
 
 impl Default for CampaignConfig {
@@ -93,8 +100,27 @@ impl Default for CampaignConfig {
             seed: 1,
             trace_seed: None,
             threads: crate::default_threads(),
+            cycle_budget: None,
+            max_retries: 1,
         }
     }
+}
+
+/// Builds the evaluator [`run_method`] would use for this configuration.
+/// Exposed so callers can attach a journal / warm-start it before calling
+/// [`run_method_on`].
+pub fn build_evaluator(suite: &[Workload], cfg: &CampaignConfig) -> Evaluator {
+    Evaluator::new(
+        suite.to_vec(),
+        cfg.instrs_per_workload,
+        cfg.trace_seed.unwrap_or(cfg.seed),
+    )
+    .with_threads(cfg.threads)
+    .with_limits(SimLimits {
+        cycle_budget: cfg.cycle_budget,
+        deadlock_watchdog: SimLimits::default().deadlock_watchdog,
+    })
+    .with_max_retries(cfg.max_retries)
 }
 
 /// Runs one method on a fresh evaluator over the given suite.
@@ -118,46 +144,52 @@ pub fn run_method_observed(
     cfg: &CampaignConfig,
     sink: Option<std::sync::Arc<dyn archx_telemetry::ProgressSink>>,
 ) -> RunLog {
-    let _timed = archx_telemetry::span("dse/run_method");
-    let evaluator = Evaluator::new(
-        suite.to_vec(),
-        cfg.instrs_per_workload,
-        cfg.trace_seed.unwrap_or(cfg.seed),
-    )
-    .with_threads(cfg.threads);
-    evaluator.set_progress_target(method.to_string(), cfg.sim_budget);
+    let evaluator = build_evaluator(suite, cfg);
     if let Some(sink) = sink {
         evaluator.set_progress_sink(sink);
     }
+    run_method_on(method, space, &evaluator, cfg.sim_budget, cfg.seed)
+}
+
+/// Runs one method on a caller-supplied evaluator — the entry point for
+/// resumable campaigns, where the evaluator was warm-started from a
+/// journal (and keeps journaling) before the search begins. The search is
+/// deterministic given `seed`, so a warm-started evaluator replays the
+/// journaled prefix from cache and spends simulations only past it.
+pub fn run_method_on(
+    method: Method,
+    space: &DesignSpace,
+    evaluator: &Evaluator,
+    sim_budget: u64,
+    seed: u64,
+) -> RunLog {
+    let _timed = archx_telemetry::span("dse/run_method");
+    evaluator.set_progress_target(method.to_string(), sim_budget);
     let ax_opts = ArchExplorerOptions {
-        seed: cfg.seed,
+        seed,
         ..ArchExplorerOptions::default()
     };
     match method {
-        Method::ArchExplorer => run_archexplorer(space, &evaluator, cfg.sim_budget, &ax_opts),
-        Method::Random => run_random_search(space, &evaluator, cfg.sim_budget, cfg.seed),
+        Method::ArchExplorer => run_archexplorer(space, evaluator, sim_budget, &ax_opts),
+        Method::Random => run_random_search(space, evaluator, sim_budget, seed),
         Method::AdaBoost => run_adaboost(
             space,
-            &evaluator,
-            cfg.sim_budget,
-            cfg.seed,
+            evaluator,
+            sim_budget,
+            seed,
             &AdaBoostOptions::default(),
         ),
         Method::ArchRanker => run_archranker(
             space,
-            &evaluator,
-            cfg.sim_budget,
-            cfg.seed,
+            evaluator,
+            sim_budget,
+            seed,
             &RankerOptions::default(),
         ),
-        Method::BoomExplorer => run_boom_explorer(
-            space,
-            &evaluator,
-            cfg.sim_budget,
-            cfg.seed,
-            &BoomOptions::default(),
-        ),
-        Method::Calipers => run_calipers_dse(space, &evaluator, cfg.sim_budget, &ax_opts),
+        Method::BoomExplorer => {
+            run_boom_explorer(space, evaluator, sim_budget, seed, &BoomOptions::default())
+        }
+        Method::Calipers => run_calipers_dse(space, evaluator, sim_budget, &ax_opts),
     }
 }
 
@@ -287,6 +319,7 @@ mod tests {
             seed: 3,
             trace_seed: None,
             threads: 1,
+            ..CampaignConfig::default()
         };
         let space = DesignSpace::table4();
         let campaign = Campaign::run(&Method::ALL, &space, &suite, &cfg);
@@ -313,6 +346,7 @@ mod tests {
             seed: 0,
             trace_seed: None,
             threads: 1,
+            ..CampaignConfig::default()
         };
         let curves = sweep(
             &[Method::Random],

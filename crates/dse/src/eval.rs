@@ -5,20 +5,42 @@
 //! instruction window per workload (the paper uses the first 100 K
 //! instructions of each Simpoint), every workload simulation counts as one
 //! simulation toward the budget, and results are cached per design.
+//!
+//! ## Failure handling
+//!
+//! Long campaigns evaluate thousands of design points, so a pathological
+//! one must not abort the search. Every per-workload simulation runs
+//! behind `catch_unwind` with the simulator's typed errors mapped into
+//! [`EvalError`]; a failed design gets one bounded retry with a halved
+//! instruction window (transient blow-ups — deadlock watchdogs, cycle
+//! budgets — often clear in a smaller window), and a persistently failing
+//! design is **quarantined**: recorded in the evaluator's quarantine log,
+//! cached as failed (so it is never re-simulated), journaled, and
+//! reported to the caller as `Err`. Searches skip quarantined designs and
+//! keep spending the remaining budget. Every attempt costs one simulation
+//! per workload regardless of outcome, so a budget always terminates even
+//! if every sampled design fails.
 
+use crate::journal::{Journal, JournalFingerprint, JournalRecord};
 use crate::pareto::{ExplorationSet, RefPoint};
 use archx_deg::{build_deg, critical, induce, merge_reports, BottleneckReport};
 use archx_power::{PowerModel, PpaResult};
 use archx_sim::isa::Instruction;
-use archx_sim::{MicroArch, OooCore};
+use archx_sim::pipeline::DEADLOCK_WATCHDOG;
+use archx_sim::{Cycle, MicroArch, OooCore, SimError};
 use archx_telemetry::{self as telemetry, Progress, ProgressSink};
 use archx_workloads::Workload;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Outcome of one workload's simulation attempt: its PPA and (when
+/// requested) bottleneck report, or the typed error that stopped it.
+type AttemptOutcome = Result<(PpaResult, Option<BottleneckReport>), EvalError>;
 
 /// Which bottleneck analysis to run alongside the simulations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -44,6 +66,124 @@ pub struct DesignEval {
     pub report: Option<BottleneckReport>,
     /// Which analysis produced `report`.
     pub analysis: Analysis,
+}
+
+/// Why an evaluation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// The simulator returned a typed error.
+    Sim(SimError),
+    /// The PPA model produced a NaN or infinite figure — treated as an
+    /// evaluation failure so it can never corrupt a Pareto frontier.
+    NonFinitePpa,
+    /// A worker panicked; the panic was caught and the message preserved.
+    WorkerPanic {
+        /// The panic payload, rendered.
+        message: String,
+    },
+    /// A failure replayed from an evaluation journal (the original typed
+    /// error is preserved as its tag + rendered message).
+    Journaled {
+        /// Machine-readable tag of the original error.
+        tag: String,
+        /// Rendered original error.
+        message: String,
+    },
+}
+
+impl EvalError {
+    /// Short machine-readable tag (stable; used by telemetry counters and
+    /// the evaluation journal).
+    pub fn tag(&self) -> &str {
+        match self {
+            EvalError::Sim(e) => e.tag(),
+            EvalError::NonFinitePpa => "non_finite_ppa",
+            EvalError::WorkerPanic { .. } => "worker_panic",
+            EvalError::Journaled { tag, .. } => tag,
+        }
+    }
+
+    /// Whether a retry with a smaller instruction window could plausibly
+    /// succeed. Deterministic design properties (invalid configurations,
+    /// non-finite PPA) and journaled verdicts are never retried.
+    pub fn retryable(&self) -> bool {
+        match self {
+            EvalError::Sim(e) => e.retryable(),
+            EvalError::NonFinitePpa | EvalError::Journaled { .. } => false,
+            EvalError::WorkerPanic { .. } => true,
+        }
+    }
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Sim(e) => write!(f, "{e}"),
+            EvalError::NonFinitePpa => write!(f, "PPA model produced a non-finite value"),
+            EvalError::WorkerPanic { message } => write!(f, "worker panicked: {message}"),
+            EvalError::Journaled { message, .. } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A design evaluation that failed past its retry budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalFailure {
+    /// Name of the first workload (by suite order) that failed; empty for
+    /// design-level failures detected before any workload ran.
+    pub workload: String,
+    /// The error from the final attempt.
+    pub error: EvalError,
+    /// Total attempts made (1 = no retry).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for EvalFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.workload.is_empty() {
+            write!(f, "{} after {} attempt(s)", self.error, self.attempts)
+        } else {
+            write!(
+                f,
+                "workload {}: {} after {} attempt(s)",
+                self.workload, self.error, self.attempts
+            )
+        }
+    }
+}
+
+/// One quarantined design point: the ISSUE-mandated
+/// `(arch, workload, error, attempts)` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineEntry {
+    /// The design that failed.
+    pub arch: MicroArch,
+    /// First failing workload (empty for design-level failures).
+    pub workload: String,
+    /// The error from the final attempt.
+    pub error: EvalError,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+}
+
+/// Per-simulation safety limits applied to every run the evaluator makes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimLimits {
+    /// Per-run cycle budget (`None` = unlimited).
+    pub cycle_budget: Option<Cycle>,
+    /// Deadlock watchdog: cycles without a commit before the run fails.
+    pub deadlock_watchdog: Cycle,
+}
+
+impl Default for SimLimits {
+    fn default() -> Self {
+        SimLimits {
+            cycle_budget: None,
+            deadlock_watchdog: DEADLOCK_WATCHDOG,
+        }
+    }
 }
 
 /// Campaign-progress state carried by the evaluator: who is searching,
@@ -72,10 +212,18 @@ impl Default for ProgressMeta {
 pub struct Evaluator {
     workloads: Vec<Workload>,
     traces: Vec<Vec<Instruction>>,
+    instrs_per_workload: usize,
+    trace_seed: u64,
     power: PowerModel,
     threads: usize,
+    limits: SimLimits,
+    max_retries: u32,
     sims: AtomicU64,
-    cache: Mutex<HashMap<MicroArch, DesignEval>>,
+    retries: AtomicU64,
+    cache: Mutex<HashMap<MicroArch, Result<DesignEval, EvalFailure>>>,
+    quarantine: Mutex<Vec<QuarantineEntry>>,
+    journal: Mutex<Option<Journal>>,
+    journal_error: Mutex<Option<String>>,
     progress: Mutex<ProgressMeta>,
 }
 
@@ -85,6 +233,7 @@ impl std::fmt::Debug for Evaluator {
             .field("workloads", &self.workloads.len())
             .field("instrs", &self.traces.first().map_or(0, Vec::len))
             .field("sims", &self.sim_count())
+            .field("quarantined", &self.quarantine_len())
             .finish()
     }
 }
@@ -100,10 +249,18 @@ impl Evaluator {
         Evaluator {
             workloads,
             traces,
+            instrs_per_workload,
+            trace_seed: seed,
             power: PowerModel::default(),
             threads: crate::default_threads(),
+            limits: SimLimits::default(),
+            max_retries: 1,
             sims: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
             cache: Mutex::new(HashMap::new()),
+            quarantine: Mutex::new(Vec::new()),
+            journal: Mutex::new(None),
+            journal_error: Mutex::new(None),
             progress: Mutex::new(ProgressMeta::default()),
         }
     }
@@ -115,14 +272,100 @@ impl Evaluator {
         self
     }
 
+    /// Applies per-simulation limits (cycle budget, deadlock watchdog) to
+    /// every run this evaluator makes.
+    pub fn with_limits(mut self, limits: SimLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Bounds how many times a retryable failure is retried (each retry
+    /// halves the instruction window again). Default: 1.
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
     /// The workload suite.
     pub fn workloads(&self) -> &[Workload] {
         &self.workloads
     }
 
-    /// Simulations performed so far (one per workload per uncached design).
+    /// The per-simulation limits in force.
+    pub fn limits(&self) -> SimLimits {
+        self.limits
+    }
+
+    /// Simulations performed so far (one per workload per attempt on
+    /// every uncached design, failures included).
     pub fn sim_count(&self) -> u64 {
         self.sims.load(Ordering::Relaxed)
+    }
+
+    /// Retries performed so far.
+    pub fn retry_count(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the quarantine log.
+    pub fn quarantine(&self) -> Vec<QuarantineEntry> {
+        self.quarantine.lock().clone()
+    }
+
+    /// Number of quarantined designs.
+    pub fn quarantine_len(&self) -> usize {
+        self.quarantine.lock().len()
+    }
+
+    /// The configuration fingerprint a journal for this evaluator must
+    /// match; `extra` carries campaign-level metadata (method, seed, …).
+    pub fn fingerprint(&self, extra: Vec<(String, String)>) -> JournalFingerprint {
+        JournalFingerprint {
+            workloads: self.workloads.iter().map(|w| w.id.to_string()).collect(),
+            instrs_per_workload: self.instrs_per_workload,
+            trace_seed: self.trace_seed,
+            cycle_budget: self.limits.cycle_budget,
+            deadlock_watchdog: self.limits.deadlock_watchdog,
+            extra,
+        }
+    }
+
+    /// Attaches a write-ahead journal: every subsequent uncached
+    /// evaluation is appended and flushed before its result is returned.
+    pub fn set_journal(&self, journal: Journal) {
+        *self.journal.lock() = Some(journal);
+    }
+
+    /// The first journal-append error, if any occurred (appends never
+    /// abort a campaign; the error is surfaced here instead).
+    pub fn journal_error(&self) -> Option<String> {
+        self.journal_error.lock().clone()
+    }
+
+    /// Replays journaled evaluations into the cache and the simulation
+    /// counter, so a resumed deterministic search spends budget only past
+    /// the replayed prefix. Returns the simulations replayed.
+    pub fn warm_start(&self, records: Vec<JournalRecord>) -> u64 {
+        let replayed = records.len() as u64;
+        let mut sims = 0u64;
+        {
+            let mut cache = self.cache.lock();
+            for rec in records {
+                sims += rec.sims_cost;
+                if let Err(failure) = &rec.outcome {
+                    self.quarantine.lock().push(QuarantineEntry {
+                        arch: rec.arch,
+                        workload: failure.workload.clone(),
+                        error: failure.error.clone(),
+                        attempts: failure.attempts,
+                    });
+                }
+                cache.insert(rec.arch, rec.outcome);
+            }
+        }
+        self.sims.fetch_add(sims, Ordering::Relaxed);
+        telemetry::counter_add("journal/replayed", replayed);
+        sims
     }
 
     /// Labels this evaluator's progress events (`source`, typically the
@@ -142,8 +385,11 @@ impl Evaluator {
 
     /// Evaluates a design (simulation + PPA only, no bottleneck analysis).
     ///
-    /// Cached: re-evaluating a design costs no simulations.
-    pub fn evaluate(&self, arch: &MicroArch) -> DesignEval {
+    /// Cached: re-evaluating a design costs no simulations. `Err` means
+    /// the design failed past its retry budget and is quarantined; the
+    /// failure is cached too, so a quarantined design is never
+    /// re-simulated.
+    pub fn evaluate(&self, arch: &MicroArch) -> Result<DesignEval, EvalFailure> {
         self.evaluate_with(arch, Analysis::None)
     }
 
@@ -154,46 +400,143 @@ impl Evaluator {
     /// Cached: re-evaluating a design costs no simulations. A cached
     /// design evaluated without a report will be re-simulated if a report
     /// is later requested (counting simulations again, as the paper's
-    /// trace-dumping runs would).
-    pub fn evaluate_with(&self, arch: &MicroArch, analysis: Analysis) -> DesignEval {
+    /// trace-dumping runs would). A cached *failure* is returned for any
+    /// requested analysis — quarantine is a property of the design.
+    pub fn evaluate_with(
+        &self,
+        arch: &MicroArch,
+        analysis: Analysis,
+    ) -> Result<DesignEval, EvalFailure> {
         if let Some(hit) = self.cache.lock().get(arch) {
-            if analysis == Analysis::None || hit.analysis == analysis {
-                telemetry::counter_add("eval/cache/hit", 1);
-                return hit.clone();
+            match hit {
+                Ok(eval) if analysis == Analysis::None || eval.analysis == analysis => {
+                    telemetry::counter_add("eval/cache/hit", 1);
+                    return Ok(eval.clone());
+                }
+                Err(failure) => {
+                    telemetry::counter_add("eval/cache/hit", 1);
+                    telemetry::counter_add("eval/cache/quarantined_hit", 1);
+                    return Err(failure.clone());
+                }
+                Ok(_) => {}
             }
         }
         telemetry::counter_add("eval/cache/miss", 1);
-        let eval = self.evaluate_uncached(arch, analysis);
-        self.cache.lock().insert(*arch, eval.clone());
-        eval
+        let sims_before = self.sim_count();
+        let outcome = self.evaluate_uncached(arch, analysis);
+        let sims_cost = self.sim_count() - sims_before;
+        if let Err(failure) = &outcome {
+            self.quarantine.lock().push(QuarantineEntry {
+                arch: *arch,
+                workload: failure.workload.clone(),
+                error: failure.error.clone(),
+                attempts: failure.attempts,
+            });
+            telemetry::counter_add("eval/quarantine", 1);
+            telemetry::counter_add(&format!("eval/failure/{}", failure.error.tag()), 1);
+        }
+        self.cache.lock().insert(*arch, outcome.clone());
+        self.journal_append(arch, analysis, sims_cost, &outcome);
+        outcome
     }
 
-    fn evaluate_uncached(&self, arch: &MicroArch, analysis: Analysis) -> DesignEval {
-        let n = self.workloads.len();
-        let mut per_workload = vec![
-            PpaResult {
-                ipc: 0.0,
-                power_w: 0.0,
-                area_mm2: 0.0
+    fn journal_append(
+        &self,
+        arch: &MicroArch,
+        analysis: Analysis,
+        sims_cost: u64,
+        outcome: &Result<DesignEval, EvalFailure>,
+    ) {
+        let mut guard = self.journal.lock();
+        if let Some(journal) = guard.as_mut() {
+            let rec = JournalRecord {
+                arch: *arch,
+                analysis,
+                sims_cost,
+                outcome: outcome.clone(),
             };
-            n
-        ];
-        let mut reports: Vec<Option<BottleneckReport>> = vec![None; n];
+            if let Err(e) = journal.append(&rec) {
+                telemetry::counter_add("journal/error", 1);
+                let mut slot = self.journal_error.lock();
+                if slot.is_none() {
+                    *slot = Some(e.to_string());
+                }
+            }
+        }
+    }
 
-        let run_one = |i: usize| -> (PpaResult, Option<BottleneckReport>) {
+    fn evaluate_uncached(
+        &self,
+        arch: &MicroArch,
+        analysis: Analysis,
+    ) -> Result<DesignEval, EvalFailure> {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            // Attempt k runs the first `len >> (k-1)` instructions of
+            // each trace: retries halve the window.
+            let divisor = 1usize << (attempts - 1).min(16);
+            match self.attempt(arch, analysis, divisor) {
+                Ok(eval) => {
+                    self.emit_progress(eval.ppa);
+                    return Ok(eval);
+                }
+                Err((workload, error)) => {
+                    if error.retryable() && attempts <= self.max_retries {
+                        telemetry::counter_add("eval/retry", 1);
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    return Err(EvalFailure {
+                        workload,
+                        error,
+                        attempts,
+                    });
+                }
+            }
+        }
+    }
+
+    /// One evaluation attempt over the whole suite. Costs one simulation
+    /// per workload whatever happens (so budgets terminate even under
+    /// total failure, and accounting is identical for any thread count).
+    /// On failure, reports the error of the smallest-index workload —
+    /// deterministic regardless of worker scheduling.
+    fn attempt(
+        &self,
+        arch: &MicroArch,
+        analysis: Analysis,
+        divisor: usize,
+    ) -> Result<DesignEval, (String, EvalError)> {
+        let n = self.workloads.len();
+        self.sims.fetch_add(n as u64, Ordering::Relaxed);
+
+        let run_one = |i: usize| -> Result<(PpaResult, Option<BottleneckReport>), EvalError> {
             // Everything below is attributed under `eval/...` — absolute,
             // so names match whether this runs on the caller's thread
             // (serial path) or on a worker. Scopes are thread-local.
             let _root = telemetry::root_scope();
             let _scope = telemetry::scope("eval");
+            let full = &self.traces[i];
+            let window = (full.len() / divisor).max(1).min(full.len());
+            let trace = &full[..window];
+            let mut core = OooCore::try_new(*arch)
+                .map_err(EvalError::Sim)?
+                .with_deadlock_watchdog(self.limits.deadlock_watchdog);
+            if let Some(budget) = self.limits.cycle_budget {
+                core = core.with_cycle_budget(budget);
+            }
             let started = Instant::now();
             let result = {
                 let _timed = telemetry::span("simulate");
-                OooCore::new(*arch).run(&self.traces[i])
+                core.run(trace).map_err(EvalError::Sim)?
             };
             telemetry::record("eval/sim_latency_us", started.elapsed().as_micros() as u64);
             result.stats.export_telemetry();
             let ppa = self.power.evaluate(arch, &result.stats);
+            if !(ppa.ipc.is_finite() && ppa.power_w.is_finite() && ppa.area_mm2.is_finite()) {
+                return Err(EvalError::NonFinitePpa);
+            }
             let report = match analysis {
                 Analysis::None => None,
                 Analysis::NewDeg => {
@@ -205,19 +548,28 @@ impl Evaluator {
                     Some(archx_deg::CalipersModel::from_arch(arch).analyze(&result).1)
                 }
             };
-            (ppa, report)
+            Ok((ppa, report))
+        };
+        // A panicking worker must fail the design, not the campaign.
+        let guarded = |i: usize| -> AttemptOutcome {
+            catch_unwind(AssertUnwindSafe(|| run_one(i))).unwrap_or_else(|payload| {
+                Err(EvalError::WorkerPanic {
+                    message: panic_message(&payload),
+                })
+            })
         };
 
+        let mut outcomes: Vec<Option<AttemptOutcome>> = (0..n).map(|_| None).collect();
         if self.threads <= 1 || n <= 1 {
-            for i in 0..n {
-                let (ppa, rep) = run_one(i);
-                per_workload[i] = ppa;
-                reports[i] = rep;
+            for (i, slot) in outcomes.iter_mut().enumerate() {
+                *slot = Some(guarded(i));
             }
         } else {
             let next = AtomicU64::new(0);
-            let results: Mutex<Vec<(usize, PpaResult, Option<BottleneckReport>)>> =
+            let results: Mutex<Vec<(usize, Result<_, EvalError>)>> =
                 Mutex::new(Vec::with_capacity(n));
+            // The scope join itself cannot panic: every worker body is
+            // wrapped in `catch_unwind` above.
             crossbeam::scope(|s| {
                 for _ in 0..self.threads.min(n) {
                     s.spawn(|_| loop {
@@ -225,19 +577,28 @@ impl Evaluator {
                         if i >= n {
                             break;
                         }
-                        let (ppa, rep) = run_one(i);
-                        results.lock().push((i, ppa, rep));
+                        let outcome = guarded(i);
+                        results.lock().push((i, outcome));
                     });
                 }
             })
-            .expect("worker panicked");
-            for (i, ppa, rep) in results.into_inner() {
-                per_workload[i] = ppa;
-                reports[i] = rep;
+            .expect("workers are panic-isolated");
+            for (i, outcome) in results.into_inner() {
+                outcomes[i] = Some(outcome);
             }
         }
 
-        self.sims.fetch_add(n as u64, Ordering::Relaxed);
+        let mut per_workload = Vec::with_capacity(n);
+        let mut reports: Vec<Option<BottleneckReport>> = Vec::with_capacity(n);
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome.expect("every workload ran") {
+                Ok((ppa, rep)) => {
+                    per_workload.push(ppa);
+                    reports.push(rep);
+                }
+                Err(error) => return Err((self.workloads[i].id.to_string(), error)),
+            }
+        }
 
         let ipc = per_workload.iter().map(|p| p.ipc).sum::<f64>() / n as f64;
         let power = per_workload.iter().map(|p| p.power_w).sum::<f64>() / n as f64;
@@ -247,7 +608,6 @@ impl Evaluator {
             power_w: power,
             area_mm2: area,
         };
-        self.emit_progress(mean_ppa);
         let report = if analysis != Analysis::None {
             let reps: Vec<BottleneckReport> = reports
                 .into_iter()
@@ -258,16 +618,17 @@ impl Evaluator {
         } else {
             None
         };
-        DesignEval {
+        Ok(DesignEval {
             ppa: mean_ppa,
             per_workload,
             report,
             analysis,
-        }
+        })
     }
 
-    /// Publishes one progress event (after each uncached evaluation) to the
-    /// per-evaluator sink and the global telemetry sinks.
+    /// Publishes one progress event (after each successful uncached
+    /// evaluation) to the per-evaluator sink and the global telemetry
+    /// sinks.
     fn emit_progress(&self, ppa: PpaResult) {
         let (event, sink) = {
             let mut meta = self.progress.lock();
@@ -286,6 +647,16 @@ impl Evaluator {
             sink.on_progress(&event);
         }
         telemetry::progress(&event);
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -361,14 +732,15 @@ impl RunLog {
             .collect()
     }
 
-    /// Best design by the paper's PPA trade-off metric.
+    /// Best design by the paper's PPA trade-off metric. Records with a
+    /// non-finite trade-off (which only enter a log built outside the
+    /// evaluator, whose PPA is always finite) are ignored rather than
+    /// allowed to poison the comparison.
     pub fn best_tradeoff(&self) -> Option<&EvalRecord> {
-        self.records.iter().max_by(|a, b| {
-            a.ppa
-                .tradeoff()
-                .partial_cmp(&b.ppa.tradeoff())
-                .expect("finite tradeoff")
-        })
+        self.records
+            .iter()
+            .filter(|r| r.ppa.tradeoff().is_finite())
+            .max_by(|a, b| a.ppa.tradeoff().total_cmp(&b.ppa.tradeoff()))
     }
 }
 
@@ -386,9 +758,9 @@ mod tests {
     fn evaluation_counts_sims_and_caches() {
         let ev = small_eval();
         let arch = MicroArch::baseline();
-        let e1 = ev.evaluate(&arch);
+        let e1 = ev.evaluate(&arch).expect("evaluates");
         assert_eq!(ev.sim_count(), 2);
-        let e2 = ev.evaluate(&arch);
+        let e2 = ev.evaluate(&arch).expect("evaluates");
         assert_eq!(ev.sim_count(), 2, "cache hit must not count");
         assert_eq!(e1, e2);
         assert!(e1.ppa.ipc > 0.0);
@@ -398,7 +770,9 @@ mod tests {
     #[test]
     fn analysis_produces_merged_report() {
         let ev = small_eval();
-        let e = ev.evaluate_with(&MicroArch::tiny(), Analysis::NewDeg);
+        let e = ev
+            .evaluate_with(&MicroArch::tiny(), Analysis::NewDeg)
+            .expect("evaluates");
         let rep = e.report.expect("requested analysis");
         assert!(rep.total() > 0.5);
     }
@@ -408,8 +782,12 @@ mod tests {
         let suite: Vec<Workload> = spec06_suite().into_iter().take(3).collect();
         let serial = Evaluator::new(suite.clone(), 2_000, 1).with_threads(1);
         let parallel = Evaluator::new(suite, 2_000, 1).with_threads(3);
-        let a = serial.evaluate_with(&MicroArch::baseline(), Analysis::NewDeg);
-        let b = parallel.evaluate_with(&MicroArch::baseline(), Analysis::NewDeg);
+        let a = serial
+            .evaluate_with(&MicroArch::baseline(), Analysis::NewDeg)
+            .expect("evaluates");
+        let b = parallel
+            .evaluate_with(&MicroArch::baseline(), Analysis::NewDeg)
+            .expect("evaluates");
         assert_eq!(a, b, "thread count must not change results");
     }
 
@@ -419,8 +797,8 @@ mod tests {
         let sink = Arc::new(telemetry::CollectingSink::new());
         ev.set_progress_target("test", 4);
         ev.set_progress_sink(sink.clone());
-        ev.evaluate(&MicroArch::baseline());
-        ev.evaluate(&MicroArch::baseline()); // cached: no new event
+        ev.evaluate(&MicroArch::baseline()).expect("evaluates");
+        ev.evaluate(&MicroArch::baseline()).expect("evaluates"); // cached: no new event
         let events = sink.events();
         assert_eq!(events.len(), 1, "one event per uncached evaluation");
         assert_eq!(events[0].source, "test");
@@ -428,6 +806,116 @@ mod tests {
         assert_eq!(events[0].sim_budget, 4);
         assert!(events[0].hypervolume > 0.0);
         assert!(events[0].best_tradeoff > 0.0);
+    }
+
+    #[test]
+    fn watchdog_failure_is_retried_then_quarantined() {
+        // A 1-cycle watchdog trips before the pipeline can possibly
+        // commit, on the full window and on the halved retry window.
+        let ev = {
+            let suite: Vec<Workload> = spec06_suite().into_iter().take(2).collect();
+            Evaluator::new(suite, 2_000, 1)
+                .with_threads(1)
+                .with_limits(SimLimits {
+                    cycle_budget: None,
+                    deadlock_watchdog: 1,
+                })
+        };
+        let arch = MicroArch::baseline();
+        let failure = ev.evaluate(&arch).expect_err("must fail");
+        assert_eq!(failure.error.tag(), "deadlock");
+        assert_eq!(failure.attempts, 2, "one retry then quarantine");
+        assert_eq!(ev.retry_count(), 1);
+        assert_eq!(ev.quarantine_len(), 1);
+        assert_eq!(ev.quarantine()[0].arch, arch);
+        assert!(!ev.quarantine()[0].workload.is_empty());
+        // Both attempts cost the full suite.
+        assert_eq!(ev.sim_count(), 4);
+        // The failure is cached: no re-simulation, same error.
+        let again = ev.evaluate(&arch).expect_err("still quarantined");
+        assert_eq!(again.error.tag(), "deadlock");
+        assert_eq!(ev.sim_count(), 4, "quarantined design never re-simulates");
+        assert_eq!(ev.quarantine_len(), 1, "no duplicate quarantine entry");
+    }
+
+    #[test]
+    fn cycle_budget_trips_as_typed_failure() {
+        let suite: Vec<Workload> = spec06_suite().into_iter().take(2).collect();
+        let ev = Evaluator::new(suite, 2_000, 1)
+            .with_threads(1)
+            .with_limits(SimLimits {
+                cycle_budget: Some(3),
+                deadlock_watchdog: 1_000_000,
+            });
+        let failure = ev.evaluate(&MicroArch::baseline()).expect_err("must fail");
+        assert_eq!(failure.error.tag(), "cycle_budget");
+        assert_eq!(ev.quarantine_len(), 1);
+    }
+
+    #[test]
+    fn retry_with_halved_window_can_succeed() {
+        // Self-calibrating: pick a cycle budget strictly between the
+        // cycles of the half window and the full window, so the first
+        // attempt fails and the halved retry succeeds.
+        let suite: Vec<Workload> = spec06_suite().into_iter().take(1).collect();
+        let arch = MicroArch::baseline();
+        let trace = suite[0].generate(2_000, 1);
+        let full = OooCore::new(arch)
+            .run(&trace)
+            .expect("simulates")
+            .stats
+            .cycles;
+        let half = OooCore::new(arch)
+            .run(&trace[..trace.len() / 2])
+            .expect("simulates")
+            .stats
+            .cycles;
+        assert!(half < full);
+        let budget = (half + full) / 2;
+        let ev = Evaluator::new(suite, 2_000, 1)
+            .with_threads(1)
+            .with_limits(SimLimits {
+                cycle_budget: Some(budget),
+                deadlock_watchdog: 1_000_000,
+            });
+        let eval = ev.evaluate(&arch).expect("retry succeeds");
+        assert!(eval.ppa.ipc > 0.0);
+        assert_eq!(ev.retry_count(), 1);
+        assert_eq!(ev.quarantine_len(), 0);
+        assert_eq!(ev.sim_count(), 2, "both attempts count");
+    }
+
+    #[test]
+    fn journal_warm_start_skips_simulation() {
+        let dir = std::env::temp_dir().join(format!("archx-eval-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("warmstart.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let ev = small_eval();
+        let journal = Journal::create(&path, &ev.fingerprint(Vec::new())).unwrap();
+        ev.set_journal(journal);
+        let a = MicroArch::baseline();
+        let b = MicroArch::tiny();
+        let ea = ev.evaluate(&a).expect("evaluates");
+        let eb = ev.evaluate_with(&b, Analysis::NewDeg).expect("evaluates");
+        assert_eq!(ev.sim_count(), 4);
+        assert!(ev.journal_error().is_none());
+
+        // A fresh evaluator resumes from the journal: same results, same
+        // budget position, zero new simulations.
+        let ev2 = small_eval();
+        let (journal2, records) = Journal::resume(&path, &ev2.fingerprint(Vec::new())).unwrap();
+        assert_eq!(records.len(), 2);
+        ev2.set_journal(journal2);
+        ev2.warm_start(records);
+        assert_eq!(ev2.sim_count(), 4, "budget replays from the journal");
+        let ra = ev2.evaluate(&a).expect("cached");
+        let rb = ev2.evaluate_with(&b, Analysis::NewDeg).expect("cached");
+        assert_eq!(ra, ea);
+        assert_eq!(rb, eb);
+        assert_eq!(ev2.sim_count(), 4, "no re-simulation after warm start");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
@@ -447,5 +935,48 @@ mod tests {
             assert!(w[1].1 >= w[0].1, "hypervolume must be non-decreasing");
         }
         assert!((log.best_tradeoff().unwrap().ppa.ipc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_tradeoff_ignores_non_finite_records() {
+        let mut log = RunLog::new("test");
+        let mk = |ipc: f64| PpaResult {
+            ipc,
+            power_w: 0.2,
+            area_mm2: 5.0,
+        };
+        log.push(MicroArch::baseline(), mk(1.0), 2);
+        log.push(
+            MicroArch::baseline(),
+            PpaResult {
+                ipc: f64::NAN,
+                power_w: 0.2,
+                area_mm2: 5.0,
+            },
+            4,
+        );
+        log.push(
+            MicroArch::baseline(),
+            PpaResult {
+                ipc: f64::INFINITY,
+                power_w: 0.2,
+                area_mm2: 5.0,
+            },
+            6,
+        );
+        let best = log.best_tradeoff().expect("finite record exists");
+        assert!((best.ppa.ipc - 1.0).abs() < 1e-12);
+        // An all-non-finite log yields None, not a panic.
+        let mut bad = RunLog::new("bad");
+        bad.push(
+            MicroArch::baseline(),
+            PpaResult {
+                ipc: f64::NAN,
+                power_w: 0.2,
+                area_mm2: 5.0,
+            },
+            1,
+        );
+        assert!(bad.best_tradeoff().is_none());
     }
 }

@@ -8,7 +8,10 @@
 //!   next-smaller moves, normalised features, mixed-radix indexing;
 //! * [`eval`] — the shared design evaluator: workload-suite simulation,
 //!   McPAT-lite power/area, design cache, simulation budget accounting,
-//!   bottleneck analysis backends, and run logs;
+//!   bottleneck analysis backends, run logs, and the failure-isolation
+//!   layer (typed errors, bounded retry, quarantine);
+//! * [`journal`] — the write-ahead evaluation journal (JSONL) that makes
+//!   campaigns crash-safe and resumable;
 //! * [`pareto`] — dominance, frontier maintenance, and exact 3-D Pareto
 //!   hypervolume (Eq. 3);
 //! * [`reassign`] + [`archexplorer`] — the bottleneck-removal-driven
@@ -36,6 +39,7 @@ pub mod archexplorer;
 pub mod baselines;
 pub mod campaign;
 pub mod eval;
+pub mod journal;
 pub mod ml;
 pub mod pareto;
 pub mod reassign;
@@ -52,15 +56,25 @@ pub fn default_threads() -> usize {
 /// Convenient re-exports of the main entry points.
 pub mod prelude {
     pub use crate::archexplorer::{run_archexplorer, ArchExplorerOptions};
-    pub use crate::campaign::{run_method, run_method_observed, Campaign, CampaignConfig, Method};
+    pub use crate::campaign::{
+        build_evaluator, run_method, run_method_observed, run_method_on, Campaign, CampaignConfig,
+        Method,
+    };
     pub use crate::default_threads;
-    pub use crate::eval::{Analysis, DesignEval, EvalRecord, Evaluator, RunLog};
+    pub use crate::eval::{
+        Analysis, DesignEval, EvalError, EvalFailure, EvalRecord, Evaluator, QuarantineEntry,
+        RunLog, SimLimits,
+    };
+    pub use crate::journal::{Journal, JournalError, JournalFingerprint, JournalRecord};
     pub use crate::pareto::{dominates, hypervolume, pareto_front, ExplorationSet, RefPoint};
     pub use crate::space::{DesignSpace, ParamId};
 }
 
 pub use archexplorer::{run_archexplorer, ArchExplorerOptions};
-pub use campaign::{run_method, Campaign, CampaignConfig, Method};
-pub use eval::{Analysis, DesignEval, Evaluator, RunLog};
+pub use campaign::{build_evaluator, run_method, run_method_on, Campaign, CampaignConfig, Method};
+pub use eval::{
+    Analysis, DesignEval, EvalError, EvalFailure, Evaluator, QuarantineEntry, RunLog, SimLimits,
+};
+pub use journal::{Journal, JournalError, JournalFingerprint, JournalRecord};
 pub use pareto::{hypervolume, pareto_front, ExplorationSet, RefPoint};
 pub use space::{DesignSpace, ParamId};

@@ -37,12 +37,24 @@ pub fn dominates(a: &PpaResult, b: &PpaResult) -> bool {
     no_worse && better
 }
 
+/// Whether every objective of a point is finite. Non-finite points come
+/// only from callers bypassing the evaluator (whose PPA is always
+/// finite); the frontier and hypervolume ignore them rather than letting
+/// a NaN comparison corrupt the result.
+fn finite(p: &PpaResult) -> bool {
+    p.ipc.is_finite() && p.power_w.is_finite() && p.area_mm2.is_finite()
+}
+
 /// Indices of the Pareto frontier (mutually non-dominated points).
+/// Points with a NaN or infinite objective are never on the frontier.
 pub fn pareto_front(points: &[PpaResult]) -> Vec<usize> {
     let mut front = Vec::new();
     'outer: for (i, p) in points.iter().enumerate() {
+        if !finite(p) {
+            continue;
+        }
         for (j, q) in points.iter().enumerate() {
-            if i != j && (dominates(q, p) || (q == p && j < i)) {
+            if i != j && finite(q) && (dominates(q, p) || (q == p && j < i)) {
                 continue 'outer;
             }
         }
@@ -53,13 +65,14 @@ pub fn pareto_front(points: &[PpaResult]) -> Vec<usize> {
 
 /// Exact 3-D Pareto hypervolume with respect to `r` (Eq. 3).
 ///
-/// Points not dominating the reference point are ignored. Complexity is
-/// O(n² log n) via z-slab sweeping with incremental 2-D hypervolume.
+/// Points not dominating the reference point — and points with any NaN
+/// or infinite objective — are ignored. Complexity is O(n² log n) via
+/// z-slab sweeping with incremental 2-D hypervolume.
 pub fn hypervolume(points: &[PpaResult], r: &RefPoint) -> f64 {
     // Transform to a maximisation problem anchored at the origin.
     let mut pts: Vec<[f64; 3]> = points
         .iter()
-        .filter(|p| p.ipc > r.ipc && p.power_w < r.power_w && p.area_mm2 < r.area_mm2)
+        .filter(|p| finite(p) && p.ipc > r.ipc && p.power_w < r.power_w && p.area_mm2 < r.area_mm2)
         .map(|p| {
             [
                 p.ipc - r.ipc,
@@ -73,7 +86,7 @@ pub fn hypervolume(points: &[PpaResult], r: &RefPoint) -> f64 {
     }
     // Sweep z from high to low; between consecutive z levels the covered
     // xy-area is the 2-D hypervolume of all points with z >= level.
-    pts.sort_by(|a, b| b[2].partial_cmp(&a[2]).expect("finite objectives"));
+    pts.sort_by(|a, b| b[2].total_cmp(&a[2]));
     let mut volume = 0.0;
     let mut active: Vec<[f64; 2]> = Vec::new();
     for k in 0..pts.len() {
@@ -95,7 +108,7 @@ pub fn hypervolume(points: &[PpaResult], r: &RefPoint) -> f64 {
 fn area2d(points: &[[f64; 2]]) -> f64 {
     let mut pts: Vec<[f64; 2]> = points.to_vec();
     // Sort by x descending; sweep accumulating strictly increasing y.
-    pts.sort_by(|a, b| b[0].partial_cmp(&a[0]).expect("finite objectives"));
+    pts.sort_by(|a, b| b[0].total_cmp(&a[0]));
     let mut area = 0.0;
     let mut best_y = 0.0f64;
     let mut i = 0;
@@ -254,6 +267,22 @@ mod tests {
         let small = p(1.0, 0.5, 5.0); // dominated by big
         let hv = hypervolume(&[big, small], &r);
         assert!((hv - hypervolume(&[big], &r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_points_are_ignored_everywhere() {
+        let good = p(2.0, 0.2, 5.0);
+        let pts = vec![
+            p(f64::NAN, 0.1, 1.0),
+            p(f64::INFINITY, 0.1, 1.0), // would dominate everything
+            good,
+            p(1.0, f64::NEG_INFINITY, 1.0),
+        ];
+        assert_eq!(pareto_front(&pts), vec![2], "only the finite point");
+        let r = RefPoint::default();
+        let hv = hypervolume(&pts, &r);
+        assert!(hv.is_finite());
+        assert!((hv - hypervolume(&[good], &r)).abs() < 1e-12);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! use archx_sim::{MicroArch, OooCore, trace_gen};
 //!
 //! let arch = MicroArch::baseline();
-//! let result = OooCore::new(arch).run(&trace_gen::mixed_workload(5_000, 1));
+//! let result = OooCore::new(arch).run(&trace_gen::mixed_workload(5_000, 1)).expect("simulates");
 //! let ppa = PowerModel::default().evaluate(&arch, &result.stats);
 //! assert!(ppa.area_mm2 > 0.0 && ppa.power_w > 0.0);
 //! ```

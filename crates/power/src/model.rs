@@ -180,7 +180,9 @@ mod tests {
 
     fn baseline_run() -> (MicroArch, SimStats) {
         let arch = MicroArch::baseline();
-        let r = OooCore::new(arch).run(&trace_gen::mixed_workload(20_000, 1));
+        let r = OooCore::new(arch)
+            .run(&trace_gen::mixed_workload(20_000, 1))
+            .expect("simulates");
         (arch, r.stats)
     }
 
@@ -220,10 +222,10 @@ mod tests {
     fn doubling_fp_alu_raises_power_without_perf_on_int_code() {
         let arch = MicroArch::baseline();
         let trace = trace_gen::independent_int_ops(20_000);
-        let r0 = OooCore::new(arch).run(&trace);
+        let r0 = OooCore::new(arch).run(&trace).expect("simulates");
         let mut fat = arch;
         fat.fp_alu = 2 * arch.fp_alu;
-        let r1 = OooCore::new(fat).run(&trace);
+        let r1 = OooCore::new(fat).run(&trace).expect("simulates");
         let m = PowerModel::default();
         let p0 = m.evaluate(&arch, &r0.stats);
         let p1 = m.evaluate(&fat, &r1.stats);

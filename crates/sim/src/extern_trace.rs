@@ -67,7 +67,10 @@ pub enum ParseTraceError {
         expected: u32,
     },
     /// The trace contained no records.
-    Empty,
+    Empty {
+        /// Lines scanned (comments, headers and blanks included).
+        lines: usize,
+    },
 }
 
 impl std::fmt::Display for ParseTraceError {
@@ -81,7 +84,9 @@ impl std::fmt::Display for ParseTraceError {
                 found,
                 expected,
             } => write!(f, "line {line}: index {found}, expected {expected}"),
-            ParseTraceError::Empty => write!(f, "trace contains no records"),
+            ParseTraceError::Empty { lines } => {
+                write!(f, "trace contains no records ({lines} lines scanned)")
+            }
         }
     }
 }
@@ -247,9 +252,11 @@ pub fn export(result: &SimResult) -> String {
 pub fn import(text: &str) -> Result<SimResult, ParseTraceError> {
     let mut events: Vec<InstrEvents> = Vec::new();
     let mut instructions: Vec<Instruction> = Vec::new();
+    let mut lines = 0usize;
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         let lno = lineno + 1;
+        lines = lno;
         if line.is_empty() || line.starts_with('#') || line.starts_with("ARCHX-TRACE") {
             continue;
         }
@@ -373,7 +380,7 @@ pub fn import(text: &str) -> Result<SimResult, ParseTraceError> {
         });
     }
     if events.is_empty() {
-        return Err(ParseTraceError::Empty);
+        return Err(ParseTraceError::Empty { lines });
     }
 
     // Recompute aggregate statistics from the records.
@@ -422,7 +429,9 @@ mod tests {
 
     #[test]
     fn export_import_roundtrip_preserves_events() {
-        let r = OooCore::new(MicroArch::baseline()).run(&trace_gen::mixed_workload(800, 3));
+        let r = OooCore::new(MicroArch::baseline())
+            .run(&trace_gen::mixed_workload(800, 3))
+            .expect("simulates");
         let text = export(&r);
         let back = import(&text).expect("roundtrip parses");
         assert_eq!(back.trace.events, r.trace.events);
@@ -464,14 +473,23 @@ mod tests {
             import(unknown),
             Err(ParseTraceError::Malformed { .. })
         ));
-        assert!(matches!(import(""), Err(ParseTraceError::Empty)));
+        assert!(matches!(
+            import(""),
+            Err(ParseTraceError::Empty { lines: 0 })
+        ));
+        assert!(matches!(
+            import("# only a comment\n"),
+            Err(ParseTraceError::Empty { lines: 1 })
+        ));
     }
 
     #[test]
     fn imported_trace_feeds_the_deg_identically() {
         // The DEG built from an imported trace must match the original's
         // critical-path length (the whole point of the interchange).
-        let r = OooCore::new(MicroArch::baseline()).run(&trace_gen::random_branches(1_500, 9));
+        let r = OooCore::new(MicroArch::baseline())
+            .run(&trace_gen::random_branches(1_500, 9))
+            .expect("simulates");
         let text = export(&r);
         let back = import(&text).expect("parses");
         assert_eq!(back.trace.events, r.trace.events);
@@ -484,6 +502,8 @@ mod tests {
             reason: "x".into(),
         };
         assert!(e.to_string().contains("line 3"));
-        assert!(ParseTraceError::Empty.to_string().contains("no records"));
+        assert!(ParseTraceError::Empty { lines: 4 }
+            .to_string()
+            .contains("no records"));
     }
 }

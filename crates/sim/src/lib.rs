@@ -24,14 +24,24 @@
 //!
 //! let arch = MicroArch::baseline();
 //! let instrs = trace_gen::linear_int_chain(1000);
-//! let result = OooCore::new(arch).run(&instrs);
+//! let result = OooCore::new(arch).run(&instrs).expect("simulates");
 //! assert!(result.stats.cycles > 0);
 //! assert_eq!(result.trace.events.len(), 1000);
 //! ```
+//!
+//! ## Failure handling
+//!
+//! Simulation is fallible by design: [`OooCore::run`] returns
+//! `Result<SimResult, SimError>` so a pathological design point inside a
+//! DSE campaign fails as data instead of aborting the process. The
+//! [`SimError`] taxonomy covers pipeline deadlock (watchdog), per-run
+//! cycle budgets ([`OooCore::with_cycle_budget`]), invalid configurations
+//! and external-trace ingestion errors.
 
 pub mod bpred;
 pub mod cache;
 pub mod config;
+pub mod error;
 pub mod extern_trace;
 pub mod fu;
 pub mod isa;
@@ -43,6 +53,7 @@ pub mod trace;
 pub mod trace_gen;
 
 pub use config::MicroArch;
+pub use error::SimError;
 pub use isa::{Instruction, OpClass, Reg, RegClass};
 pub use pipeline::OooCore;
 pub use stats::SimStats;

@@ -53,7 +53,13 @@ pub enum O3ParseError {
         stage: String,
     },
     /// No complete instruction records found.
-    Empty,
+    Empty {
+        /// Lines scanned (including non-O3PipeView lines).
+        lines: usize,
+        /// Instruction records opened by a `fetch` but dropped for lack
+        /// of a `retire` (squashed in gem5 terms).
+        squashed: usize,
+    },
 }
 
 impl std::fmt::Display for O3ParseError {
@@ -63,7 +69,10 @@ impl std::fmt::Display for O3ParseError {
             O3ParseError::OrphanStage { line, stage } => {
                 write!(f, "line {line}: `{stage}` record before any fetch")
             }
-            O3ParseError::Empty => write!(f, "no complete O3PipeView records"),
+            O3ParseError::Empty { lines, squashed } => write!(
+                f,
+                "no complete O3PipeView records in {lines} lines ({squashed} unretired records dropped)"
+            ),
         }
     }
 }
@@ -136,16 +145,21 @@ pub fn import_o3pipeview(text: &str, ticks_per_cycle: u64) -> Result<SimResult, 
     assert!(ticks_per_cycle > 0, "ticks_per_cycle must be positive");
     let mut pending: Option<Pending> = None;
     let mut done: Vec<Pending> = Vec::new();
+    let mut squashed = 0usize;
+    let mut lines = 0usize;
 
-    let mut flush = |p: Option<Pending>| {
+    let mut flush = |p: Option<Pending>, squashed: &mut usize| {
         if let Some(p) = p {
             if p.retire > 0 {
                 done.push(p);
+            } else {
+                *squashed += 1;
             }
         }
     };
 
     for (lineno, raw) in text.lines().enumerate() {
+        lines = lineno + 1;
         let line = raw.trim();
         let lno = lineno + 1;
         if line.is_empty() || !line.starts_with("O3PipeView:") {
@@ -166,7 +180,7 @@ pub fn import_o3pipeview(text: &str, ticks_per_cycle: u64) -> Result<SimResult, 
             })?;
         match stage {
             "fetch" => {
-                flush(pending.take());
+                flush(pending.take(), &mut squashed);
                 let pc = parts
                     .next()
                     .map(|s| {
@@ -211,14 +225,14 @@ pub fn import_o3pipeview(text: &str, ticks_per_cycle: u64) -> Result<SimResult, 
             }
         }
     }
-    flush(pending.take());
+    flush(pending.take(), &mut squashed);
 
-    if done.is_empty() {
-        return Err(O3ParseError::Empty);
-    }
-
-    // Normalise to cycles from the first fetch.
-    let t0 = done.iter().map(|p| p.fetch).min().expect("non-empty");
+    // Normalise to cycles from the first fetch. An empty or all-filtered
+    // trace is a typed error (with how much input was scanned), never a
+    // panic — campaigns ingest these files unattended.
+    let Some(t0) = done.iter().map(|p| p.fetch).min() else {
+        return Err(O3ParseError::Empty { lines, squashed });
+    };
     let cyc = |tick: u64| -> Cycle {
         if tick == 0 {
             0
@@ -354,7 +368,19 @@ O3PipeView:retire:5000
         ));
         assert!(matches!(
             import_o3pipeview("", 500),
-            Err(O3ParseError::Empty)
+            Err(O3ParseError::Empty {
+                lines: 0,
+                squashed: 0
+            })
+        ));
+        // A record that never retires is squashed; an all-squashed trace
+        // is Empty and reports how much input it scanned.
+        assert!(matches!(
+            import_o3pipeview("O3PipeView:fetch:1:0x1:0:1:nop\n", 500),
+            Err(O3ParseError::Empty {
+                lines: 1,
+                squashed: 1
+            })
         ));
         assert!(matches!(
             import_o3pipeview("O3PipeView:fetch:1:0x1:0:1:nop\nO3PipeView:zzz:2\n", 500),

@@ -16,6 +16,7 @@
 use crate::bpred::BranchPredictor;
 use crate::cache::Hierarchy;
 use crate::config::{MemDepPolicy, MicroArch};
+use crate::error::SimError;
 use crate::fu::FuSet;
 use crate::isa::{Instruction, OpClass, RegClass};
 use crate::resources::Pool;
@@ -36,6 +37,9 @@ pub const REDIRECT_PENALTY: Cycle = 3;
 /// Replay penalty charged to a load's commit after a memory-order
 /// violation (store-set speculation only).
 pub const MEMDEP_REPLAY: Cycle = 3;
+
+/// Default no-commit interval after which the deadlock watchdog fires.
+pub const DEADLOCK_WATCHDOG: Cycle = 1_000_000;
 
 /// Per-instruction bookkeeping that is not part of the public trace.
 #[derive(Debug, Clone)]
@@ -99,12 +103,16 @@ fn blank_events() -> InstrEvents {
 ///
 /// ```
 /// use archx_sim::{MicroArch, OooCore, trace_gen};
-/// let result = OooCore::new(MicroArch::baseline()).run(&trace_gen::linear_int_chain(100));
+/// let result = OooCore::new(MicroArch::baseline())
+///     .run(&trace_gen::linear_int_chain(100))
+///     .expect("simulates");
 /// assert_eq!(result.stats.committed, 100);
 /// ```
 #[derive(Debug)]
 pub struct OooCore {
     arch: MicroArch,
+    cycle_budget: Option<Cycle>,
+    watchdog: Cycle,
 }
 
 impl OooCore {
@@ -112,11 +120,39 @@ impl OooCore {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid; call
-    /// [`MicroArch::validate`] to check first.
+    /// Panics if the configuration is invalid; use [`OooCore::try_new`]
+    /// when the configuration comes from untrusted input (e.g. a DSE
+    /// search move) and a typed error is needed instead.
     pub fn new(arch: MicroArch) -> Self {
-        arch.validate().expect("invalid microarchitecture");
-        OooCore { arch }
+        Self::try_new(arch).expect("invalid microarchitecture")
+    }
+
+    /// Creates a core, returning [`SimError::InvalidArch`] when the
+    /// configuration fails [`MicroArch::validate`].
+    pub fn try_new(arch: MicroArch) -> Result<Self, SimError> {
+        arch.validate()?;
+        Ok(OooCore {
+            arch,
+            cycle_budget: None,
+            watchdog: DEADLOCK_WATCHDOG,
+        })
+    }
+
+    /// Caps a single simulation at `budget` cycles; exceeding it returns
+    /// [`SimError::CycleBudgetExceeded`] instead of running indefinitely.
+    /// Campaigns use this to bound the cost of a pathological design point.
+    pub fn with_cycle_budget(mut self, budget: Cycle) -> Self {
+        self.cycle_budget = Some(budget.max(1));
+        self
+    }
+
+    /// Overrides the deadlock watchdog: a run with no commit for `cycles`
+    /// consecutive cycles returns [`SimError::Deadlock`] (default
+    /// [`DEADLOCK_WATCHDOG`]). Fault-injection tests lower this to force
+    /// the failure path.
+    pub fn with_deadlock_watchdog(mut self, cycles: Cycle) -> Self {
+        self.watchdog = cycles.max(1);
+        self
     }
 
     /// The configuration this core simulates.
@@ -127,10 +163,13 @@ impl OooCore {
     /// Simulates the instruction stream to completion and returns the full
     /// microexecution record.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the pipeline deadlocks (an internal invariant violation).
-    pub fn run(&self, instructions: &[Instruction]) -> SimResult {
+    /// Returns [`SimError::Deadlock`] when the pipeline makes no forward
+    /// progress for the watchdog interval, and
+    /// [`SimError::CycleBudgetExceeded`] when a configured
+    /// [cycle budget](OooCore::with_cycle_budget) runs out first.
+    pub fn run(&self, instructions: &[Instruction]) -> Result<SimResult, SimError> {
         let n = instructions.len() as InstrIdx;
         let arch = &self.arch;
         let mut events: Vec<InstrEvents> = vec![blank_events(); instructions.len()];
@@ -138,11 +177,11 @@ impl OooCore {
         let mut stats = SimStats::default();
 
         if instructions.is_empty() {
-            return SimResult {
+            return Ok(SimResult {
                 trace: PipelineTrace { events, cycles: 0 },
                 stats,
                 instructions: Vec::new(),
-            };
+            });
         }
 
         let mut bpred = BranchPredictor::new(arch);
@@ -736,10 +775,22 @@ impl OooCore {
             }
 
             cycle += advance;
-            assert!(
-                cycle - last_commit_cycle < 1_000_000,
-                "pipeline deadlock: no commit for 1M cycles at cycle {cycle}, head {commit_head}"
-            );
+            if cycle - last_commit_cycle >= self.watchdog {
+                return Err(SimError::Deadlock {
+                    cycle,
+                    commit_head,
+                    watchdog: self.watchdog,
+                });
+            }
+            if let Some(budget) = self.cycle_budget {
+                if cycle > budget {
+                    return Err(SimError::CycleBudgetExceeded {
+                        budget,
+                        committed: stats.committed,
+                        total: instructions.len() as u64,
+                    });
+                }
+            }
         }
 
         let _ = &pending_p;
@@ -757,14 +808,14 @@ impl OooCore {
             };
         }
 
-        SimResult {
+        Ok(SimResult {
             trace: PipelineTrace {
                 events,
                 cycles: total_cycles,
             },
             stats,
             instructions: instructions.to_vec(),
-        }
+        })
     }
 }
 
@@ -775,7 +826,9 @@ mod tests {
 
     #[test]
     fn empty_trace() {
-        let r = OooCore::new(MicroArch::baseline()).run(&[]);
+        let r = OooCore::new(MicroArch::baseline())
+            .run(&[])
+            .expect("simulates");
         assert_eq!(r.stats.committed, 0);
         assert_eq!(r.trace.cycles, 0);
     }
@@ -783,7 +836,9 @@ mod tests {
     #[test]
     fn all_instructions_commit_in_order() {
         let instrs = trace_gen::linear_int_chain(500);
-        let r = OooCore::new(MicroArch::baseline()).run(&instrs);
+        let r = OooCore::new(MicroArch::baseline())
+            .run(&instrs)
+            .expect("simulates");
         assert_eq!(r.stats.committed, 500);
         let mut prev = 0;
         for ev in &r.trace.events {
@@ -806,7 +861,9 @@ mod tests {
     fn dependent_chain_is_serial() {
         // A chain of dependent ALU ops cannot exceed IPC 1.
         let instrs = trace_gen::linear_int_chain(2000);
-        let r = OooCore::new(MicroArch::baseline()).run(&instrs);
+        let r = OooCore::new(MicroArch::baseline())
+            .run(&instrs)
+            .expect("simulates");
         assert!(
             r.stats.ipc() <= 1.05,
             "chain IPC {} must be ~1",
@@ -817,7 +874,9 @@ mod tests {
     #[test]
     fn independent_ops_superscalar() {
         let instrs = trace_gen::independent_int_ops(20_000);
-        let r = OooCore::new(MicroArch::baseline()).run(&instrs);
+        let r = OooCore::new(MicroArch::baseline())
+            .run(&instrs)
+            .expect("simulates");
         assert!(
             r.stats.ipc() > 1.5,
             "independent ops should exceed IPC 1.5, got {}",
@@ -831,13 +890,21 @@ mod tests {
         let narrow = {
             let mut a = MicroArch::baseline();
             a.width = 1;
-            OooCore::new(a).run(&instrs).stats.cycles
+            OooCore::new(a)
+                .run(&instrs)
+                .expect("simulates")
+                .stats
+                .cycles
         };
         let wide = {
             let mut a = MicroArch::baseline();
             a.width = 8;
             a.int_alu = 6;
-            OooCore::new(a).run(&instrs).stats.cycles
+            OooCore::new(a)
+                .run(&instrs)
+                .expect("simulates")
+                .stats
+                .cycles
         };
         assert!(wide < narrow, "8-wide {wide} must beat 1-wide {narrow}");
     }
@@ -849,7 +916,7 @@ mod tests {
         a.int_rf = 40;
         a.rob_entries = 256;
         a.iq_entries = 80;
-        let r = OooCore::new(a).run(&instrs);
+        let r = OooCore::new(a).run(&instrs).expect("simulates");
         assert!(
             r.stats.stall_cycles(ResourceKind::IntRf) > 0,
             "a 40-entry IntRF must stall: {:?}",
@@ -872,7 +939,9 @@ mod tests {
     #[test]
     fn mispredicted_branches_block_fetch() {
         let instrs = trace_gen::random_branches(2000, 0xDEADBEEF);
-        let r = OooCore::new(MicroArch::baseline()).run(&instrs);
+        let r = OooCore::new(MicroArch::baseline())
+            .run(&instrs)
+            .expect("simulates");
         assert!(r.stats.mispredicts > 0, "random branches must mispredict");
         // Every refill points back at a mispredicted instruction, and
         // fetch of the refill begins strictly after resolution.
@@ -891,7 +960,9 @@ mod tests {
     #[test]
     fn loads_hit_and_miss() {
         let instrs = trace_gen::pointer_chase(3000, 1 << 22, 0x1234);
-        let r = OooCore::new(MicroArch::baseline()).run(&instrs);
+        let r = OooCore::new(MicroArch::baseline())
+            .run(&instrs)
+            .expect("simulates");
         assert!(
             r.stats.dcache_misses > 0,
             "a 4 MiB footprint must miss a 32 KiB L1"
@@ -902,7 +973,9 @@ mod tests {
     #[test]
     fn store_forwarding_counts() {
         let instrs = trace_gen::store_load_pairs(1000);
-        let r = OooCore::new(MicroArch::baseline()).run(&instrs);
+        let r = OooCore::new(MicroArch::baseline())
+            .run(&instrs)
+            .expect("simulates");
         assert!(
             r.stats.store_forwards > 0,
             "same-address pairs must forward"
@@ -912,8 +985,12 @@ mod tests {
     #[test]
     fn deterministic() {
         let instrs = trace_gen::mixed_workload(3000, 42);
-        let a = OooCore::new(MicroArch::baseline()).run(&instrs);
-        let b = OooCore::new(MicroArch::baseline()).run(&instrs);
+        let a = OooCore::new(MicroArch::baseline())
+            .run(&instrs)
+            .expect("simulates");
+        let b = OooCore::new(MicroArch::baseline())
+            .run(&instrs)
+            .expect("simulates");
         assert_eq!(a.trace, b.trace);
         assert_eq!(a.stats, b.stats);
     }
@@ -922,7 +999,9 @@ mod tests {
     fn fu_contention_records_waits() {
         // Many divides through a single divider.
         let instrs = trace_gen::divide_heavy(500);
-        let r = OooCore::new(MicroArch::baseline()).run(&instrs);
+        let r = OooCore::new(MicroArch::baseline())
+            .run(&instrs)
+            .expect("simulates");
         let waits = r
             .trace
             .events

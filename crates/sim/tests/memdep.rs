@@ -63,10 +63,12 @@ fn conflicting_pattern(n: usize) -> Vec<Instruction> {
 #[test]
 fn speculation_speeds_up_independent_loads() {
     let trace = addr_dependent_pattern(800);
-    let conservative = OooCore::new(MicroArch::baseline()).run(&trace);
+    let conservative = OooCore::new(MicroArch::baseline())
+        .run(&trace)
+        .expect("simulates");
     let mut arch = MicroArch::baseline();
     arch.mem_dep = MemDepPolicy::StoreSets;
-    let speculative = OooCore::new(arch).run(&trace);
+    let speculative = OooCore::new(arch).run(&trace).expect("simulates");
     assert!(
         speculative.trace.cycles < conservative.trace.cycles,
         "speculation must help: {} vs {} cycles",
@@ -84,7 +86,7 @@ fn conflicts_are_detected_and_learned() {
     let trace = conflicting_pattern(600);
     let mut arch = MicroArch::baseline();
     arch.mem_dep = MemDepPolicy::StoreSets;
-    let r = OooCore::new(arch).run(&trace);
+    let r = OooCore::new(arch).run(&trace).expect("simulates");
     assert!(
         r.stats.mem_dep_violations > 0,
         "same-address speculation must violate at least once"
@@ -111,7 +113,9 @@ fn conflicts_are_detected_and_learned() {
 #[test]
 fn conservative_policy_never_violates() {
     let trace = conflicting_pattern(400);
-    let r = OooCore::new(MicroArch::baseline()).run(&trace);
+    let r = OooCore::new(MicroArch::baseline())
+        .run(&trace)
+        .expect("simulates");
     assert_eq!(r.stats.mem_dep_violations, 0);
     assert!(r.trace.events.iter().all(|e| e.mem_dep_violation.is_none()));
 }
@@ -121,7 +125,7 @@ fn deterministic_under_speculation() {
     let trace = conflicting_pattern(300);
     let mut arch = MicroArch::baseline();
     arch.mem_dep = MemDepPolicy::StoreSets;
-    let a = OooCore::new(arch).run(&trace);
-    let b = OooCore::new(arch).run(&trace);
+    let a = OooCore::new(arch).run(&trace).expect("simulates");
+    let b = OooCore::new(arch).run(&trace).expect("simulates");
     assert_eq!(a.trace, b.trace);
 }

@@ -86,7 +86,7 @@ proptest! {
     fn simulation_timing_invariants_hold_for_random_mixes(seed in any::<u64>()) {
         use archx_sim::{trace_gen, MicroArch, OooCore};
         let trace = trace_gen::mixed_workload(800, seed);
-        let r = OooCore::new(MicroArch::tiny()).run(&trace);
+        let r = OooCore::new(MicroArch::tiny()).run(&trace).expect("simulates");
         prop_assert_eq!(r.stats.committed, 800);
         prop_assert_eq!(r.trace.cycles, r.trace.events.last().unwrap().c);
         // Issue happens only after dispatch; memory ops get distinct M.

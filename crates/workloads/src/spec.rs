@@ -503,8 +503,11 @@ mod tests {
         let mcf = s06.iter().find(|w| w.id.0.contains("mcf")).unwrap();
         let hmmer = s06.iter().find(|w| w.id.0.contains("hmmer")).unwrap();
         let core = OooCore::new(MicroArch::baseline());
-        let rm = core.run(&mcf.generate(20_000, 1)).stats;
-        let rh = core.run(&hmmer.generate(20_000, 1)).stats;
+        let rm = core.run(&mcf.generate(20_000, 1)).expect("simulates").stats;
+        let rh = core
+            .run(&hmmer.generate(20_000, 1))
+            .expect("simulates")
+            .stats;
         assert!(
             rm.dcache_miss_rate() > rh.dcache_miss_rate() + 0.05,
             "mcf {} vs hmmer {}",
@@ -520,8 +523,14 @@ mod tests {
         let sjeng = s06.iter().find(|w| w.id.0.contains("sjeng")).unwrap();
         let namd = s06.iter().find(|w| w.id.0.contains("namd")).unwrap();
         let core = OooCore::new(MicroArch::baseline());
-        let rs = core.run(&sjeng.generate(20_000, 1)).stats;
-        let rn = core.run(&namd.generate(20_000, 1)).stats;
+        let rs = core
+            .run(&sjeng.generate(20_000, 1))
+            .expect("simulates")
+            .stats;
+        let rn = core
+            .run(&namd.generate(20_000, 1))
+            .expect("simulates")
+            .stats;
         assert!(
             rs.mispredict_rate() > rn.mispredict_rate(),
             "sjeng {} vs namd {}",

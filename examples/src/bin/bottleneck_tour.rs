@@ -11,7 +11,7 @@ use archexplorer::deg::{bottleneck, CalipersModel};
 use archexplorer::sim::{trace_gen, MicroArch, OooCore};
 
 fn analyze(label: &str, arch: MicroArch, trace: &[archexplorer::sim::Instruction]) {
-    let result = OooCore::new(arch).run(trace);
+    let result = OooCore::new(arch).run(trace).expect("simulates");
     let mut deg = induce(build_deg(&result));
     let path = archexplorer::deg::critical::critical_path_mut(&mut deg);
     let report = bottleneck::analyze(&deg, &path);

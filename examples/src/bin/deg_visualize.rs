@@ -17,7 +17,9 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(24);
-    let result = OooCore::new(MicroArch::tiny()).run(&trace_gen::mixed_workload(instrs, 7));
+    let result = OooCore::new(MicroArch::tiny())
+        .run(&trace_gen::mixed_workload(instrs, 7))
+        .expect("simulates");
     let mut deg = induce(build_deg(&result));
     let path = archexplorer::deg::critical::critical_path_mut(&mut deg);
     eprintln!(

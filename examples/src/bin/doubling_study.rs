@@ -16,7 +16,7 @@ fn main() {
         .instrs_per_workload(10_000)
         .build();
     let baseline = MicroArch::baseline();
-    let base = session.evaluate(&baseline).ppa;
+    let base = session.evaluate(&baseline).expect("evaluates").ppa;
     println!(
         "baseline: IPC {:.4}, power {:.4} W, area {:.4} mm², trade-off {:.4}\n",
         base.ipc,
@@ -48,7 +48,7 @@ fn main() {
         if arch.validate().is_err() {
             continue;
         }
-        let ppa = session.evaluate(&arch).ppa;
+        let ppa = session.evaluate(&arch).expect("evaluates").ppa;
         println!(
             "{label:<16} {:>+7.2}% {:>+7.2}% {:>+7.2}% {:>+7.2}%",
             100.0 * (ppa.ipc / base.ipc - 1.0),

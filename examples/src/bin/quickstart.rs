@@ -19,7 +19,7 @@ fn main() {
 
     // 1. Evaluate the paper's Table 1 baseline.
     let baseline = MicroArch::baseline();
-    let eval = session.evaluate(&baseline);
+    let eval = session.evaluate(&baseline).expect("baseline evaluates");
     println!("baseline: {baseline}");
     println!(
         "  IPC {:.4}  power {:.4} W  area {:.4} mm²  PPA trade-off {:.4}\n",

@@ -22,7 +22,7 @@ fn main() {
         );
         let mut sum = 0.0;
         for w in &suite {
-            let r = core.run(&w.generate(instrs, 1));
+            let r = core.run(&w.generate(instrs, 1)).expect("simulates");
             sum += r.stats.ipc();
             println!(
                 "{:<18} {:>6.3} {:>9.2} {:>9.2} {:>9.2} {:>9.1}",

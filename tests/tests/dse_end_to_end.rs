@@ -11,6 +11,7 @@ fn cfg(budget: u64) -> CampaignConfig {
         seed: 11,
         trace_seed: None,
         threads: 2,
+        ..CampaignConfig::default()
     }
 }
 

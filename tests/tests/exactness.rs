@@ -7,7 +7,7 @@ use archexplorer::prelude::*;
 use archexplorer::sim::OooCore;
 
 fn assert_exact(arch: MicroArch, instrs: &[archexplorer::sim::Instruction]) {
-    let r = OooCore::new(arch).run(instrs);
+    let r = OooCore::new(arch).run(instrs).expect("simulates");
     let mut deg = induce(build_deg(&r));
     let path = archexplorer::deg::critical::critical_path_mut(&mut deg);
     assert_eq!(

@@ -66,7 +66,7 @@ proptest! {
     fn pipeline_invariants_hold_for_arbitrary_specs(spec in arb_spec(), design in arb_design()) {
         prop_assume!(spec.validate().is_ok());
         let trace = spec.generate(1_500, 5);
-        let r = OooCore::new(design).run(&trace);
+        let r = OooCore::new(design).run(&trace).expect("simulates");
         prop_assert_eq!(r.stats.committed, 1_500);
         let mut prev_r = 0;
         let mut prev_c = 0;
@@ -87,7 +87,7 @@ proptest! {
     fn deg_exactness_holds_for_arbitrary_specs(spec in arb_spec(), design in arb_design()) {
         prop_assume!(spec.validate().is_ok());
         let trace = spec.generate(1_200, 9);
-        let r = OooCore::new(design).run(&trace);
+        let r = OooCore::new(design).run(&trace).expect("simulates");
         let mut deg = induce(build_deg(&r));
         deg.validate().expect("well-formed induced DEG");
         let path = archexplorer::deg::critical::critical_path_mut(&mut deg);
@@ -100,7 +100,7 @@ proptest! {
     #[test]
     fn power_model_is_positive_and_monotone_in_activity(design in arb_design()) {
         let trace = spec06_suite()[0].generate(1_000, 1);
-        let r = OooCore::new(design).run(&trace);
+        let r = OooCore::new(design).run(&trace).expect("simulates");
         let ppa = PowerModel::default().evaluate(&design, &r.stats);
         prop_assert!(ppa.power_w > 0.0);
         prop_assert!(ppa.area_mm2 > 0.0);

@@ -55,6 +55,7 @@ fn branch_hostile_code_raises_bpred() {
         Evaluator::new(vec![w], 8_000, 1)
             .with_threads(1)
             .evaluate_with(&arch, Analysis::NewDeg)
+            .expect("evaluates")
             .report
             .expect("analysis requested")
             .contribution(BottleneckSource::BPred)
@@ -75,7 +76,7 @@ fn contribution_guides_growth_usefully() {
     let space = s.space().clone();
     let arch = space.snap(&MicroArch::tiny());
     let report = s.analyze(&arch).expect("analysis");
-    let base_ipc = s.evaluate(&arch).ppa.ipc;
+    let base_ipc = s.evaluate(&arch).expect("evaluates").ppa.ipc;
 
     let ranked: Vec<_> = report
         .ranked()
@@ -91,7 +92,7 @@ fn contribution_guides_growth_usefully() {
                 break;
             }
         }
-        s.evaluate(&a).ppa.ipc
+        s.evaluate(&a).expect("evaluates").ppa.ipc
     };
     let ipc_top = grow(top);
     assert!(
