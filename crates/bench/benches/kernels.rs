@@ -55,7 +55,7 @@ fn bench_deg(c: &mut Criterion) {
     g.bench_function("critical_path_10k", |b| {
         b.iter_batched(
             || induced.clone(),
-            |mut d| black_box(critical::critical_path_mut(&mut d)).total_delay,
+            |mut d| black_box(critical::critical_path(&mut d)).total_delay,
             BatchSize::LargeInput,
         )
     });
@@ -132,7 +132,7 @@ fn bench_analysis(c: &mut Criterion) {
         .run(&trace_gen::mixed_workload(TRACE_LEN, 9))
         .expect("simulates");
     let mut deg = induce(build_deg(&result));
-    let path = critical::critical_path_mut(&mut deg);
+    let path = critical::critical_path(&mut deg);
     let mut g = c.benchmark_group("analysis");
     g.bench_function("bottleneck_report_10k", |b| {
         b.iter(|| black_box(bottleneck::analyze(&deg, &path)))

@@ -42,7 +42,7 @@ fn main() {
         c_sum += cons.stats.ipc();
         s_sum += spec.stats.ipc();
         let mut deg = induce(build_deg(&spec));
-        let path = archexplorer::deg::critical::critical_path_mut(&mut deg);
+        let path = archexplorer::deg::critical::critical_path(&mut deg);
         let rep = archexplorer::deg::bottleneck::analyze(&deg, &path);
         assert_eq!(
             path.total_delay, spec.trace.cycles,

@@ -37,7 +37,7 @@ fn main() {
             arch.replacement = policy;
             let r = OooCore::new(arch).run(&trace).expect("simulates");
             let mut deg = induce(build_deg(&r));
-            let path = archexplorer::deg::critical::critical_path_mut(&mut deg);
+            let path = archexplorer::deg::critical::critical_path(&mut deg);
             let rep = archexplorer::deg::bottleneck::analyze(&deg, &path);
             t.row([
                 w.id.0.to_string(),

@@ -53,7 +53,7 @@ fn main() {
         .run(&program.generate(instrs, 1))
         .expect("simulates");
     let mut deg = induce(build_deg(&r));
-    let path = archexplorer::deg::critical::critical_path_mut(&mut deg);
+    let path = archexplorer::deg::critical::critical_path(&mut deg);
     let windows = timeline(&deg, &path, bins);
 
     println!(

@@ -6,19 +6,28 @@
 //!
 //! ```sh
 //! cargo run -p archx-bench --release --bin fig12_hypervolume \
-//!     [budget=N] [instrs=N] [seed=S] [workloads=N] [suite=spec06|spec17|both]
+//!     [budget=N] [instrs=N] [seed=S] [workloads=N] [suite=spec06|spec17|both] \
+//!     [seeds=N] [jobs=N] [threads=N]
 //! ```
 //!
 //! Defaults keep the run in minutes; raise `budget`/`instrs` for smoother
 //! curves (the paper runs to 3000+ simulations of 100 K-instruction
-//! Simpoint windows).
+//! Simpoint windows). `jobs=N` fans the (method × seed) runs out across N
+//! worker threads under a global governor (`threads=` caps the total);
+//! results are identical to `jobs=1`, only wall-clock changes.
 
-use archexplorer::dse::campaign::{sweep, Campaign};
+use archexplorer::dse::campaign::{Campaign, CampaignRunner, ParallelConfig};
 use archexplorer::prelude::*;
 use archx_bench::{Args, Table};
 
 /// Multi-seed variant: prints mean ± std hypervolume per budget point.
-fn run_suite_sweep(name: &str, suite: Vec<Workload>, cfg: &CampaignConfig, seeds: &[u64]) {
+fn run_suite_sweep(
+    name: &str,
+    suite: Vec<Workload>,
+    cfg: &CampaignConfig,
+    seeds: &[u64],
+    parallel: &ParallelConfig,
+) {
     let space = DesignSpace::table4();
     let methods = [
         Method::ArchExplorer,
@@ -29,14 +38,18 @@ fn run_suite_sweep(name: &str, suite: Vec<Workload>, cfg: &CampaignConfig, seeds
         Method::Calipers,
     ];
     eprintln!(
-        "[{name}] sweeping {} methods x {} sims x {} seeds...",
+        "[{name}] sweeping {} methods x {} sims x {} seeds ({} jobs)...",
         methods.len(),
         cfg.sim_budget,
-        seeds.len()
+        seeds.len(),
+        parallel.jobs
     );
     let r = RefPoint::default();
     let step = (cfg.sim_budget / 12).max(1);
-    let curves = sweep(&methods, &space, &suite, cfg, seeds, &r, step);
+    let curves = CampaignRunner::new()
+        .parallel(*parallel)
+        .sweep(&methods, &space, &suite, cfg, seeds, &r, step)
+        .expect("seeds sample aligned budget grids");
     let mut header = vec!["sims".to_string()];
     header.extend(curves.iter().map(|c| c.method.clone()));
     let mut t = Table::new(header);
@@ -61,7 +74,7 @@ Figure 12 [{name}] over seeds {seeds:?}: mean ± std hypervolume
     );
 }
 
-fn run_suite(name: &str, suite: Vec<Workload>, cfg: &CampaignConfig) {
+fn run_suite(name: &str, suite: Vec<Workload>, cfg: &CampaignConfig, parallel: &ParallelConfig) {
     let space = DesignSpace::table4();
     let methods = [
         Method::ArchExplorer,
@@ -72,13 +85,14 @@ fn run_suite(name: &str, suite: Vec<Workload>, cfg: &CampaignConfig) {
         Method::Calipers,
     ];
     eprintln!(
-        "[{name}] running {} methods x {} sims ({} workloads, {} instrs each)...",
+        "[{name}] running {} methods x {} sims ({} workloads, {} instrs each, {} jobs)...",
         methods.len(),
         cfg.sim_budget,
         suite.len(),
-        cfg.instrs_per_workload
+        cfg.instrs_per_workload,
+        parallel.jobs
     );
-    let campaign = Campaign::run(&methods, &space, &suite, cfg);
+    let campaign = Campaign::run_parallel(&methods, &space, &suite, cfg, parallel);
 
     let r = RefPoint::default();
     let step = (cfg.sim_budget / 12).max(1);
@@ -138,6 +152,13 @@ fn main() {
     let limit = args.get_usize("workloads", usize::MAX);
     let which = args.get_str("suite", "both");
     let n_seeds = args.get_usize("seeds", 1);
+    let jobs = args.get_usize("jobs", 1).max(1);
+    let parallel = ParallelConfig {
+        jobs,
+        total_threads: args
+            .get_usize("threads", jobs.max(archexplorer::dse::default_threads()))
+            .max(1),
+    };
 
     let trim = |mut v: Vec<Workload>| {
         v.truncate(limit.max(1));
@@ -150,16 +171,16 @@ fn main() {
     let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| cfg.seed + i).collect();
     if which == "spec06" || which == "both" {
         if n_seeds > 1 {
-            run_suite_sweep("SPEC06", trim(spec06_suite()), &cfg, &seeds);
+            run_suite_sweep("SPEC06", trim(spec06_suite()), &cfg, &seeds, &parallel);
         } else {
-            run_suite("SPEC06", trim(spec06_suite()), &cfg);
+            run_suite("SPEC06", trim(spec06_suite()), &cfg, &parallel);
         }
     }
     if which == "spec17" || which == "both" {
         if n_seeds > 1 {
-            run_suite_sweep("SPEC17", trim(spec17_suite()), &cfg, &seeds);
+            run_suite_sweep("SPEC17", trim(spec17_suite()), &cfg, &seeds, &parallel);
         } else {
-            run_suite("SPEC17", trim(spec17_suite()), &cfg);
+            run_suite("SPEC17", trim(spec17_suite()), &cfg, &parallel);
         }
     }
     archx_bench::emit::emit_telemetry(&telemetry_mode);

@@ -41,8 +41,7 @@ fn main() {
         let r = core.run(&w.generate(instrs, 1)).expect("simulates");
         let (est, _) = CalipersModel::from_arch(&arch).analyze(&r);
         let mut deg = induce(build_deg(&r));
-        let path = critical_path(&deg);
-        deg.freeze();
+        let path = critical_path(&mut deg);
         let static_err = 100.0 * (est as f64 / r.trace.cycles as f64 - 1.0);
         let new_err = 100.0 * (path.total_delay as f64 / r.trace.cycles as f64 - 1.0);
         if static_err.abs() > worst.0.abs() {
@@ -76,7 +75,7 @@ fn main() {
     let r = core.run(&hmmer.generate(instrs, 1)).expect("simulates");
     let (est, static_rep) = CalipersModel::from_arch(&arch).analyze(&r);
     let mut deg = induce(build_deg(&r));
-    let path = archexplorer::deg::critical::critical_path_mut(&mut deg);
+    let path = archexplorer::deg::critical::critical_path(&mut deg);
     let new_rep = bottleneck::analyze(&deg, &path);
 
     let static_port = static_rep.contribution(BottleneckSource::RdWrPort) * est as f64;

@@ -100,7 +100,7 @@ fn main() {
         );
     }
 
-    let path = archexplorer::deg::critical::critical_path_mut(&mut deg);
+    let path = archexplorer::deg::critical::critical_path(&mut deg);
     println!(
         "\ncritical path: {} edges, cost {}, length {} (simulated runtime {})",
         path.len(),

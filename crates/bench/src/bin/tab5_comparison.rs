@@ -9,10 +9,15 @@
 //!
 //! ```sh
 //! cargo run -p archx-bench --release --bin tab5_comparison \
-//!     [budget=N] [instrs=N] [seed=S] [workloads=N] [target_frac=F]
+//!     [budget=N] [instrs=N] [seed=S] [workloads=N] [target_frac=F] \
+//!     [jobs=N] [threads=N]
 //! ```
+//!
+//! `jobs=N` runs the four methods concurrently under a global thread
+//! governor (`threads=` caps the total); the table is identical to
+//! `jobs=1`.
 
-use archexplorer::dse::campaign::Campaign;
+use archexplorer::dse::campaign::{Campaign, ParallelConfig};
 use archexplorer::prelude::*;
 use archx_bench::{Args, Table};
 
@@ -30,6 +35,13 @@ fn main() {
     let limit = args.get_usize("workloads", usize::MAX);
     // Target = this fraction of the best final hypervolume across methods.
     let target_frac: f64 = args.get_str("target_frac", "0.95").parse().unwrap_or(0.95);
+    let jobs = args.get_usize("jobs", 1).max(1);
+    let parallel = ParallelConfig {
+        jobs,
+        total_threads: args
+            .get_usize("threads", jobs.max(archexplorer::dse::default_threads()))
+            .max(1),
+    };
 
     for (name, mut suite) in [("SPEC06", spec06_suite()), ("SPEC17", spec17_suite())] {
         suite.truncate(limit.max(1));
@@ -44,11 +56,12 @@ fn main() {
             Method::ArchExplorer,
         ];
         eprintln!(
-            "[{name}] running {} methods x {} sims...",
+            "[{name}] running {} methods x {} sims ({} jobs)...",
             methods.len(),
-            cfg.sim_budget
+            cfg.sim_budget,
+            jobs
         );
-        let campaign = Campaign::run(&methods, &space_ref(), &suite, &cfg);
+        let campaign = Campaign::run_parallel(&methods, &space_ref(), &suite, &cfg, &parallel);
 
         let r = RefPoint::default();
         let step = (cfg.sim_budget / 60).max(1);

@@ -47,7 +47,7 @@ fn main() {
 
         let t1 = Instant::now();
         let mut deg = induce(build_deg(&result));
-        let path = archexplorer::deg::critical::critical_path_mut(&mut deg);
+        let path = archexplorer::deg::critical::critical_path(&mut deg);
         let ana_ms = t1.elapsed().as_secs_f64() * 1e3;
         assert_eq!(path.total_delay, result.trace.cycles);
 

@@ -4,6 +4,9 @@
 //! archx analyze  [suite=spec06|spec17] [workloads=N] [instrs=N] [PARAM=V ...]
 //! archx explore  [method=NAME] [budget=N] [suite=...] [instrs=N] [seed=N]
 //!                [--journal PATH | --resume PATH] [--cycle-budget N] [--retries N]
+//! archx campaign [methods=all|paper|a,b,...] [seeds=1,2,...] [budget=N] [suite=...]
+//!                [--jobs N] [--threads N] [--journal DIR | --resume DIR]
+//!                [--cycle-budget N] [--retries N]
 //! archx export   [workload=NAME] [instrs=N] [seed=N]        # trace to stdout
 //! archx import   file=TRACE                                  # analyze external trace
 //! archx space                                                # design-space summary
@@ -15,6 +18,16 @@
 //! the process-wide telemetry report (span timers like `eval/simulate` and
 //! `eval/deg/build`, counters like `dse/iteration`, latency histograms) is
 //! printed to stderr as JSON or an aligned table.
+//!
+//! `campaign` runs a full (methods × seeds) comparison. `--jobs N` fans
+//! runs out across N worker threads under a global thread governor
+//! (`--threads` caps the *total* threads shared by campaign jobs and each
+//! run's workload workers), with results printed in deterministic
+//! (method, seed) order whatever the completion order. `--journal DIR`
+//! gives every run its own journal file inside DIR
+//! (`<method>-seed<seed>.jsonl`), and `--resume DIR` warm-starts each run
+//! from its own file — safe under concurrency because no two runs share a
+//! journal.
 //!
 //! `explore` campaigns are crash-safe: `--journal PATH` appends every
 //! evaluation (design, per-workload PPA, analysis, outcome) to a JSONL
@@ -48,11 +61,13 @@ fn parse_kv(args: &[String]) -> HashMap<String, String> {
 /// and `--retries N` (including their `--flag=value` forms) into the CLI's
 /// native `key=value` arguments.
 fn normalize_flags(args: &[String]) -> Result<Vec<String>, String> {
-    const FLAGS: [(&str, &str); 4] = [
+    const FLAGS: [(&str, &str); 6] = [
         ("--journal", "journal"),
         ("--resume", "resume"),
         ("--cycle-budget", "cycle_budget"),
         ("--retries", "retries"),
+        ("--jobs", "jobs"),
+        ("--threads", "threads"),
     ];
     let mut out = Vec::with_capacity(args.len());
     let mut it = args.iter();
@@ -181,20 +196,36 @@ fn cmd_analyze(kv: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_method(name: &str) -> Result<Method, String> {
+    match name {
+        "archexplorer" => Ok(Method::ArchExplorer),
+        "random" => Ok(Method::Random),
+        "adaboost" => Ok(Method::AdaBoost),
+        "archranker" => Ok(Method::ArchRanker),
+        "boom" | "boom-explorer" => Ok(Method::BoomExplorer),
+        "calipers" => Ok(Method::Calipers),
+        other => Err(format!("unknown method `{other}`")),
+    }
+}
+
+/// `progress=1` streams one line per evaluated design to stderr; under
+/// `campaign --jobs N` each line carries its run's label.
+struct StderrProgress;
+impl telemetry::ProgressSink for StderrProgress {
+    fn on_progress(&self, p: &telemetry::Progress) {
+        eprintln!(
+            "  [{}] sims {}/{}  hv {:.4}  best {:.4}",
+            p.source, p.sims_done, p.sim_budget, p.hypervolume, p.best_tradeoff
+        );
+    }
+}
+
 fn cmd_explore(kv: &HashMap<String, String>) -> Result<(), String> {
-    let method = match kv
-        .get("method")
-        .map(String::as_str)
-        .unwrap_or("archexplorer")
-    {
-        "archexplorer" => Method::ArchExplorer,
-        "random" => Method::Random,
-        "adaboost" => Method::AdaBoost,
-        "archranker" => Method::ArchRanker,
-        "boom" | "boom-explorer" => Method::BoomExplorer,
-        "calipers" => Method::Calipers,
-        other => return Err(format!("unknown method `{other}`")),
-    };
+    let method = parse_method(
+        kv.get("method")
+            .map(String::as_str)
+            .unwrap_or("archexplorer"),
+    )?;
     let mut suite = workloads_of(kv)?;
     suite.truncate(get(kv, "workloads", usize::MAX).max(1));
     let w = 1.0 / suite.len() as f64;
@@ -216,16 +247,6 @@ fn cmd_explore(kv: &HashMap<String, String>) -> Result<(), String> {
         suite.len(),
         cfg.instrs_per_workload
     );
-    // `progress=1` streams one line per evaluated design to stderr.
-    struct StderrProgress;
-    impl telemetry::ProgressSink for StderrProgress {
-        fn on_progress(&self, p: &telemetry::Progress) {
-            eprintln!(
-                "  [{}] sims {}/{}  hv {:.4}  best {:.4}",
-                p.source, p.sims_done, p.sim_budget, p.hypervolume, p.best_tradeoff
-            );
-        }
-    }
     let evaluator = build_evaluator(&suite, &cfg);
     if get(kv, "progress", 0u8) == 1 {
         evaluator.set_progress_sink(std::sync::Arc::new(StderrProgress));
@@ -308,6 +329,173 @@ fn cmd_explore(kv: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_campaign(kv: &HashMap<String, String>) -> Result<(), String> {
+    let methods: Vec<Method> = match kv.get("methods").map(String::as_str).unwrap_or("all") {
+        "all" => Method::ALL.to_vec(),
+        "paper" => Method::PAPER_SET.to_vec(),
+        list => list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(parse_method)
+            .collect::<Result<_, _>>()?,
+    };
+    if methods.is_empty() {
+        return Err("methods= selected no methods".into());
+    }
+    let seeds: Vec<u64> = match kv.get("seeds") {
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+            .collect::<Result<_, _>>()?,
+        None => vec![get(kv, "seed", 1u64)],
+    };
+    if seeds.is_empty() {
+        return Err("seeds= selected no seeds".into());
+    }
+    let mut suite = workloads_of(kv)?;
+    suite.truncate(get(kv, "workloads", usize::MAX).max(1));
+    let w = 1.0 / suite.len() as f64;
+    for x in &mut suite {
+        x.weight = w;
+    }
+    let jobs = get(kv, "jobs", 1usize).max(1);
+    let parallel = ParallelConfig {
+        jobs,
+        total_threads: get(
+            kv,
+            "threads",
+            jobs.max(archexplorer::dse::default_threads()),
+        )
+        .max(1),
+    };
+    let cfg = CampaignConfig {
+        sim_budget: get(kv, "budget", 240),
+        instrs_per_workload: get(kv, "instrs", 20_000),
+        seed: seeds[0],
+        trace_seed: kv.get("trace_seed").and_then(|v| v.parse().ok()),
+        threads: archexplorer::dse::default_threads(),
+        cycle_budget: kv.get("cycle_budget").and_then(|v| v.parse().ok()),
+        max_retries: get(kv, "retries", 1u32),
+    };
+    let specs: Vec<RunSpec> = methods
+        .iter()
+        .flat_map(|&method| seeds.iter().map(move |&seed| RunSpec { method, seed }))
+        .collect();
+    eprintln!(
+        "campaign: {} method(s) x {} seed(s) = {} run(s); {} job(s) under a \
+         {}-thread governor; budget {} sims/run",
+        methods.len(),
+        seeds.len(),
+        specs.len(),
+        parallel.jobs,
+        parallel.total_threads,
+        cfg.sim_budget
+    );
+
+    if kv.contains_key("journal") && kv.contains_key("resume") {
+        return Err(
+            "use journal=DIR for a fresh campaign or resume=DIR to continue one, not both".into(),
+        );
+    }
+    let journal_dir = kv
+        .get("journal")
+        .or_else(|| kv.get("resume"))
+        .map(std::path::PathBuf::from);
+    let resuming = kv.contains_key("resume");
+    if let Some(dir) = &journal_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    }
+    // Each run journals to (or resumes from) its own file inside the
+    // campaign directory, so concurrent runs never contend on a journal.
+    let setup = move |spec: &RunSpec, evaluator: &Evaluator| -> Result<(), String> {
+        let Some(dir) = &journal_dir else {
+            return Ok(());
+        };
+        let path = run_journal_path(dir, spec);
+        let fp = evaluator.fingerprint(vec![
+            ("method".to_string(), spec.method.to_string()),
+            ("search_seed".to_string(), spec.seed.to_string()),
+        ]);
+        if resuming && path.exists() {
+            let (journal, records) = Journal::resume(&path, &fp).map_err(|e| e.to_string())?;
+            let replayed = records.len();
+            let sims = evaluator.warm_start(records);
+            evaluator.set_journal(journal);
+            eprintln!(
+                "  [{}] resumed {}: {replayed} evaluation(s) replayed, {sims} \
+                 simulation(s) already spent",
+                spec.label(),
+                path.display()
+            );
+        } else {
+            let journal = Journal::create(&path, &fp).map_err(|e| e.to_string())?;
+            evaluator.set_journal(journal);
+        }
+        Ok(())
+    };
+
+    let mut runner = CampaignRunner::new().parallel(parallel).setup(&setup);
+    if get(kv, "progress", 0u8) == 1 {
+        runner = runner.progress_sink(std::sync::Arc::new(StderrProgress));
+    }
+    let logs = runner
+        .run_specs(&specs, &DesignSpace::table4(), &suite, &cfg)
+        .map_err(|e| e.to_string())?;
+
+    let r = RefPoint::default();
+    let hv_of = |log: &RunLog| {
+        hypervolume(
+            &log.records.iter().map(|rec| rec.ppa).collect::<Vec<_>>(),
+            &r,
+        )
+    };
+    println!(
+        "{:<24} {:>8} {:>10} {:>12} {:>12}",
+        "run", "designs", "sims", "best P2/PA", "hypervolume"
+    );
+    for (spec, log) in specs.iter().zip(&logs) {
+        let best = log
+            .best_tradeoff()
+            .map(|rec| rec.ppa.tradeoff())
+            .unwrap_or(0.0);
+        let sims = log
+            .records
+            .iter()
+            .map(|rec| rec.sims_after)
+            .max()
+            .unwrap_or(0);
+        println!(
+            "{:<24} {:>8} {:>10} {:>12.4} {:>12.4}",
+            spec.label(),
+            log.records.len(),
+            sims,
+            best,
+            hv_of(log)
+        );
+    }
+    if seeds.len() > 1 {
+        println!("\nmean final hypervolume over {} seeds:", seeds.len());
+        for (mi, method) in methods.iter().enumerate() {
+            let hvs: Vec<f64> = logs[mi * seeds.len()..(mi + 1) * seeds.len()]
+                .iter()
+                .map(hv_of)
+                .collect();
+            let mean = hvs.iter().sum::<f64>() / hvs.len() as f64;
+            let var = hvs.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / hvs.len() as f64;
+            println!(
+                "  {:<16} {:>12.4} ± {:.4}",
+                method.to_string(),
+                mean,
+                var.sqrt()
+            );
+        }
+    }
+    Ok(())
+}
+
 fn cmd_export(kv: &HashMap<String, String>) -> Result<(), String> {
     let arch = arch_with_overrides(kv)?;
     let suite = workloads_of(kv)?;
@@ -338,7 +526,7 @@ fn cmd_import(kv: &HashMap<String, String>) -> Result<(), String> {
         result.stats.ipc()
     );
     let mut deg = induce(build_deg(&result));
-    let path_ = archexplorer::deg::critical::critical_path_mut(&mut deg);
+    let path_ = archexplorer::deg::critical::critical_path(&mut deg);
     println!(
         "induced DEG: {} vertices, {} edges; critical path length {} (cost {})\n",
         deg.node_count(),
@@ -389,7 +577,7 @@ fn main() -> ExitCode {
     }
     let Some(cmd) = args.first() else {
         eprintln!(
-            "usage: archx <analyze|explore|export|import|space> [key=value ...] \
+            "usage: archx <analyze|explore|campaign|export|import|space> [key=value ...] \
              [--telemetry json|pretty|off]"
         );
         return ExitCode::FAILURE;
@@ -398,6 +586,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "analyze" => cmd_analyze(&kv),
         "explore" => cmd_explore(&kv),
+        "campaign" => cmd_campaign(&kv),
         "export" => cmd_export(&kv),
         "import" => cmd_import(&kv),
         "space" => cmd_space(),

@@ -376,14 +376,14 @@ pub fn merge_reports(reports: &[BottleneckReport], weights: &[f64]) -> Bottlenec
 mod tests {
     use super::*;
     use crate::build::build_deg;
-    use crate::critical::critical_path_mut;
+    use crate::critical::critical_path;
     use crate::induced::induce;
     use archx_sim::{trace_gen, MicroArch, OooCore};
 
     fn report_for(trace: &[archx_sim::Instruction], arch: MicroArch) -> BottleneckReport {
         let r = OooCore::new(arch).run(trace).expect("simulates");
         let mut deg = induce(build_deg(&r));
-        let path = critical_path_mut(&mut deg);
+        let path = critical_path(&mut deg);
         analyze(&deg, &path)
     }
 
@@ -520,7 +520,7 @@ mod tests {
             .run(&trace_gen::mixed_workload(2_000, 31))
             .expect("simulates");
         let mut deg = induce(build_deg(&r));
-        let path = critical_path_mut(&mut deg);
+        let path = critical_path(&mut deg);
         let bins = timeline(&deg, &path, 8);
         assert_eq!(bins.len(), 8);
         let total: u64 = bins.iter().map(|b| b.length).sum();
@@ -552,7 +552,7 @@ mod tests {
             .run(&instrs)
             .expect("simulates");
         let mut deg = induce(build_deg(&r));
-        let path = critical_path_mut(&mut deg);
+        let path = critical_path(&mut deg);
         let bins = timeline(&deg, &path, 4);
         let early_div = bins[0].contribution(BottleneckSource::IntMultDiv);
         let late_div = bins[3].contribution(BottleneckSource::IntMultDiv);

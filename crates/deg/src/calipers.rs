@@ -318,7 +318,7 @@ mod tests {
         let (_, rep) = model.analyze(&r);
         let new_deg = crate::induce(crate::build_deg(&r));
         let mut g = new_deg;
-        let path = crate::critical::critical_path_mut(&mut g);
+        let path = crate::critical::critical_path(&mut g);
         let new_rep = crate::bottleneck::analyze(&g, &path);
         let old_port = rep.contribution(BottleneckSource::RdWrPort) * rep.length as f64;
         let new_port = new_rep.contribution(BottleneckSource::RdWrPort) * new_rep.length as f64;

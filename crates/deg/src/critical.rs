@@ -45,17 +45,15 @@ impl CriticalPath {
 /// Runs Algorithm 1 on an induced DEG and returns the critical path ending
 /// at the last instruction's commit.
 ///
+/// This is the no-clone entry point: it reuses the graph's storage and
+/// only mutates it by building (and caching) its CSR edge index. Call
+/// sites that cannot borrow the graph mutably can use
+/// [`critical_path_cloned`], which pays for a full graph copy.
+///
 /// # Panics
 ///
 /// Panics on an empty graph.
-pub fn critical_path(deg: &Deg) -> CriticalPath {
-    let mut deg = deg.clone();
-    critical_path_mut(&mut deg)
-}
-
-/// Like [`critical_path`] but reuses the graph's edge index, avoiding a
-/// clone. The graph is only mutated by building its CSR cache.
-pub fn critical_path_mut(deg: &mut Deg) -> CriticalPath {
+pub fn critical_path(deg: &mut Deg) -> CriticalPath {
     assert!(deg.instr_count() > 0, "empty DEG");
     let _timed = archx_telemetry::span("deg/critical");
     deg.freeze();
@@ -114,6 +112,15 @@ pub fn critical_path_mut(deg: &mut Deg) -> CriticalPath {
     }
 }
 
+/// Like [`critical_path`], for call sites that only hold a shared
+/// reference: **clones the entire graph** to build its CSR cache. On a
+/// multi-thousand-node DEG the copy dwarfs the DP itself, so every hot
+/// path should borrow mutably and call [`critical_path`] instead.
+pub fn critical_path_cloned(deg: &Deg) -> CriticalPath {
+    let mut deg = deg.clone();
+    critical_path(&mut deg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,7 +131,7 @@ mod tests {
     fn path_for(trace: &[archx_sim::Instruction], arch: MicroArch) -> (CriticalPath, u64) {
         let r = OooCore::new(arch).run(trace).expect("simulates");
         let mut deg = induce(build_deg(&r));
-        (critical_path_mut(&mut deg), r.trace.cycles)
+        (critical_path(&mut deg), r.trace.cycles)
     }
 
     #[test]

@@ -115,7 +115,7 @@ pub fn to_jsonl(deg: &Deg) -> String {
 mod tests {
     use super::*;
     use crate::build::build_deg;
-    use crate::critical::critical_path_mut;
+    use crate::critical::critical_path;
     use crate::induced::induce;
     use archx_sim::{trace_gen, MicroArch, OooCore};
 
@@ -129,7 +129,7 @@ mod tests {
     #[test]
     fn dot_is_well_formed() {
         let mut deg = sample();
-        let path = critical_path_mut(&mut deg);
+        let path = critical_path(&mut deg);
         let dot = to_dot(&deg, Some(&path), &DotOptions::default());
         assert!(dot.starts_with("digraph deg {"));
         assert!(dot.trim_end().ends_with('}'));

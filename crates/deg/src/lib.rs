@@ -29,8 +29,8 @@
 //!
 //! let result = OooCore::new(MicroArch::baseline()).run(&trace_gen::mixed_workload(2_000, 1)).expect("simulates");
 //! let deg = build_deg(&result);
-//! let induced = induce(deg);
-//! let path = critical_path(&induced);
+//! let mut induced = induce(deg);
+//! let path = critical_path(&mut induced);
 //! // The new formulation is exact: path length == simulated runtime.
 //! assert_eq!(path.total_delay, result.trace.cycles);
 //! ```
@@ -48,7 +48,7 @@ pub mod naive;
 pub mod prelude {
     pub use crate::bottleneck::{merge_reports, BottleneckReport, BottleneckSource, NUM_SOURCES};
     pub use crate::build::build_deg;
-    pub use crate::critical::{critical_path, CriticalPath};
+    pub use crate::critical::{critical_path, critical_path_cloned, CriticalPath};
     pub use crate::graph::{Deg, EdgeKind, NodeId, Stage};
     pub use crate::induced::induce;
 }
@@ -56,6 +56,6 @@ pub mod prelude {
 pub use bottleneck::{merge_reports, BottleneckReport, BottleneckSource, NUM_SOURCES};
 pub use build::build_deg;
 pub use calipers::CalipersModel;
-pub use critical::{critical_path, CriticalPath};
+pub use critical::{critical_path, critical_path_cloned, CriticalPath};
 pub use graph::{Deg, Edge, EdgeKind, NodeId, Stage};
 pub use induced::induce;

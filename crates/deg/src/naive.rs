@@ -144,7 +144,7 @@ mod tests {
         let r = OooCore::new(arch).run(&trace).expect("simulates");
         let (naive, blamed) = naive_stall_report(&r);
         let mut deg = induce(build_deg(&r));
-        let path = critical::critical_path_mut(&mut deg);
+        let path = critical::critical_path(&mut deg);
         let deg_rep = crate::bottleneck::analyze(&deg, &path);
         // Naive blames DCache for more absolute cycles than the DEG's
         // serialised attribution.

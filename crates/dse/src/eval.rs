@@ -21,6 +21,7 @@
 //! per workload regardless of outcome, so a budget always terminates even
 //! if every sampled design fails.
 
+use crate::governor::ThreadGovernor;
 use crate::journal::{Journal, JournalFingerprint, JournalRecord};
 use crate::pareto::{ExplorationSet, RefPoint};
 use archx_deg::{build_deg, critical, induce, merge_reports, BottleneckReport};
@@ -216,6 +217,7 @@ pub struct Evaluator {
     trace_seed: u64,
     power: PowerModel,
     threads: usize,
+    governor: Option<Arc<ThreadGovernor>>,
     limits: SimLimits,
     max_retries: u32,
     sims: AtomicU64,
@@ -253,6 +255,7 @@ impl Evaluator {
             trace_seed: seed,
             power: PowerModel::default(),
             threads: crate::default_threads(),
+            governor: None,
             limits: SimLimits::default(),
             max_retries: 1,
             sims: AtomicU64::new(0),
@@ -269,6 +272,18 @@ impl Evaluator {
     /// is preserved either way).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Subjects this evaluator's worker threads to a shared
+    /// [`ThreadGovernor`]. The thread the caller evaluates on is always
+    /// allowed to work (campaign jobs hold a base permit for it); workers
+    /// *beyond* it are only spawned when the governor has spare permits,
+    /// so nested campaign parallelism never oversubscribes the configured
+    /// total. Results are identical with or without a governor — worker
+    /// count never changes what an evaluation produces.
+    pub fn with_governor(mut self, governor: Arc<ThreadGovernor>) -> Self {
+        self.governor = Some(governor);
         self
     }
 
@@ -541,7 +556,7 @@ impl Evaluator {
                 Analysis::None => None,
                 Analysis::NewDeg => {
                     let mut deg = induce(build_deg(&result));
-                    let path = critical::critical_path_mut(&mut deg);
+                    let path = critical::critical_path(&mut deg);
                     Some(archx_deg::bottleneck::analyze(&deg, &path))
                 }
                 Analysis::Calipers => {
@@ -559,34 +574,52 @@ impl Evaluator {
             })
         };
 
+        // Worker count: the configured thread cap, further bounded by the
+        // governor when one is attached. The caller's thread always counts
+        // as one worker's worth of capacity (campaign jobs hold a base
+        // permit for it); only the extras need spare permits.
+        let want = self.threads.min(n);
+        let extra_lease = match &self.governor {
+            Some(governor) if want > 1 => Some(governor.try_acquire(want - 1)),
+            _ => None,
+        };
+        let workers = match &extra_lease {
+            Some(lease) => 1 + lease.held(),
+            None => want,
+        };
+
         let mut outcomes: Vec<Option<AttemptOutcome>> = (0..n).map(|_| None).collect();
-        if self.threads <= 1 || n <= 1 {
+        if workers <= 1 || n <= 1 {
             for (i, slot) in outcomes.iter_mut().enumerate() {
                 *slot = Some(guarded(i));
             }
         } else {
+            // One pre-allocated slot per workload index: each worker
+            // writes its outcome straight into its own slot, so workers
+            // never serialize on a shared results lock and no reorder
+            // pass is needed afterwards.
             let next = AtomicU64::new(0);
-            let results: Mutex<Vec<(usize, Result<_, EvalError>)>> =
-                Mutex::new(Vec::with_capacity(n));
+            let slots: Vec<Mutex<Option<AttemptOutcome>>> =
+                (0..n).map(|_| Mutex::new(None)).collect();
             // The scope join itself cannot panic: every worker body is
             // wrapped in `catch_unwind` above.
             crossbeam::scope(|s| {
-                for _ in 0..self.threads.min(n) {
+                for _ in 0..workers {
                     s.spawn(|_| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed) as usize;
                         if i >= n {
                             break;
                         }
-                        let outcome = guarded(i);
-                        results.lock().push((i, outcome));
+                        *slots[i].lock() = Some(guarded(i));
                     });
                 }
             })
             .expect("workers are panic-isolated");
-            for (i, outcome) in results.into_inner() {
-                outcomes[i] = Some(outcome);
+            for (slot, out) in slots.into_iter().zip(outcomes.iter_mut()) {
+                *out = slot.into_inner();
             }
         }
+        drop(extra_lease);
 
         let mut per_workload = Vec::with_capacity(n);
         let mut reports: Vec<Option<BottleneckReport>> = Vec::with_capacity(n);

@@ -39,6 +39,7 @@ pub mod archexplorer;
 pub mod baselines;
 pub mod campaign;
 pub mod eval;
+pub mod governor;
 pub mod journal;
 pub mod ml;
 pub mod pareto;
@@ -57,24 +58,31 @@ pub fn default_threads() -> usize {
 pub mod prelude {
     pub use crate::archexplorer::{run_archexplorer, ArchExplorerOptions};
     pub use crate::campaign::{
-        build_evaluator, run_method, run_method_observed, run_method_on, Campaign, CampaignConfig,
-        Method,
+        aggregate_curves, build_evaluator, run_journal_path, run_method, run_method_observed,
+        run_method_on, sweep, Campaign, CampaignConfig, CampaignError, CampaignRunner, Method,
+        ParallelConfig, RunSpec, SweepCurve,
     };
     pub use crate::default_threads;
     pub use crate::eval::{
         Analysis, DesignEval, EvalError, EvalFailure, EvalRecord, Evaluator, QuarantineEntry,
         RunLog, SimLimits,
     };
+    pub use crate::governor::{Lease, ThreadGovernor};
     pub use crate::journal::{Journal, JournalError, JournalFingerprint, JournalRecord};
     pub use crate::pareto::{dominates, hypervolume, pareto_front, ExplorationSet, RefPoint};
     pub use crate::space::{DesignSpace, ParamId};
 }
 
 pub use archexplorer::{run_archexplorer, ArchExplorerOptions};
-pub use campaign::{build_evaluator, run_method, run_method_on, Campaign, CampaignConfig, Method};
+pub use campaign::{
+    aggregate_curves, build_evaluator, run_journal_path, run_method, run_method_on, sweep,
+    Campaign, CampaignConfig, CampaignError, CampaignRunner, Method, ParallelConfig, RunSpec,
+    SweepCurve,
+};
 pub use eval::{
     Analysis, DesignEval, EvalError, EvalFailure, Evaluator, QuarantineEntry, RunLog, SimLimits,
 };
+pub use governor::{Lease, ThreadGovernor};
 pub use journal::{Journal, JournalError, JournalFingerprint, JournalRecord};
 pub use pareto::{hypervolume, pareto_front, ExplorationSet, RefPoint};
 pub use space::{DesignSpace, ParamId};

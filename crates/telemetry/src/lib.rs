@@ -42,7 +42,7 @@ mod progress;
 mod registry;
 
 pub use json::{JsonError, JsonValue};
-pub use progress::{CollectingSink, Progress, ProgressSink, SinkId};
+pub use progress::{CollectingSink, LabelledSink, Progress, ProgressSink, SinkId};
 pub use registry::{Histogram, HistogramStat, Registry, Report, ScopeGuard, Span, TimerStat};
 
 use std::sync::OnceLock;

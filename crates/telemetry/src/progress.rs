@@ -1,6 +1,6 @@
 //! Campaign progress events and sinks.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// A point-in-time campaign progress event.
 ///
@@ -31,6 +31,49 @@ pub trait ProgressSink: Send + Sync {
 /// [`crate::Registry::remove_sink`] to detach.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SinkId(pub(crate) u64);
+
+/// Relabels every event's `source` with a fixed run label before
+/// forwarding to an inner sink.
+///
+/// Concurrent campaigns attach one `LabelledSink` per (method × seed) run
+/// around a single shared sink, so interleaved events remain attributable
+/// to their run (`"ArchExplorer[s3]"`) no matter which worker thread
+/// emitted them.
+pub struct LabelledSink {
+    label: String,
+    inner: Arc<dyn ProgressSink>,
+}
+
+impl LabelledSink {
+    /// Wraps `inner`, stamping every forwarded event with `label`.
+    pub fn new(label: impl Into<String>, inner: Arc<dyn ProgressSink>) -> Self {
+        LabelledSink {
+            label: label.into(),
+            inner,
+        }
+    }
+
+    /// The label stamped onto forwarded events.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl std::fmt::Debug for LabelledSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LabelledSink")
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+impl ProgressSink for LabelledSink {
+    fn on_progress(&self, event: &Progress) {
+        let mut event = event.clone();
+        event.source = self.label.clone();
+        self.inner.on_progress(&event);
+    }
+}
 
 /// A sink that stores every event — the test/inspection workhorse.
 #[derive(Debug, Default)]
@@ -120,5 +163,27 @@ mod tests {
         assert_eq!(sink.max_sims_done(), 100);
         assert!(!sink.is_empty());
         assert!(sink.last().is_some());
+    }
+
+    #[test]
+    fn labelled_sink_relabels_and_forwards() {
+        let inner = Arc::new(CollectingSink::new());
+        let a = LabelledSink::new("Random[s1]", inner.clone());
+        let b = LabelledSink::new("Random[s2]", inner.clone());
+        assert_eq!(a.label(), "Random[s1]");
+        let event = Progress {
+            source: "Random".into(),
+            sims_done: 3,
+            sim_budget: 10,
+            hypervolume: 1.0,
+            best_tradeoff: 0.5,
+        };
+        a.on_progress(&event);
+        b.on_progress(&event);
+        let seen = inner.events();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].source, "Random[s1]");
+        assert_eq!(seen[1].source, "Random[s2]");
+        assert_eq!(seen[0].sims_done, 3, "payload fields pass through");
     }
 }

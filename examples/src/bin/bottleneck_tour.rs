@@ -13,7 +13,7 @@ use archexplorer::sim::{trace_gen, MicroArch, OooCore};
 fn analyze(label: &str, arch: MicroArch, trace: &[archexplorer::sim::Instruction]) {
     let result = OooCore::new(arch).run(trace).expect("simulates");
     let mut deg = induce(build_deg(&result));
-    let path = archexplorer::deg::critical::critical_path_mut(&mut deg);
+    let path = archexplorer::deg::critical::critical_path(&mut deg);
     let report = bottleneck::analyze(&deg, &path);
 
     println!("=== {label} ===");

@@ -21,7 +21,7 @@ fn main() {
         .run(&trace_gen::mixed_workload(instrs, 7))
         .expect("simulates");
     let mut deg = induce(build_deg(&result));
-    let path = archexplorer::deg::critical::critical_path_mut(&mut deg);
+    let path = archexplorer::deg::critical::critical_path(&mut deg);
     eprintln!(
         "{} instructions, {} cycles; DEG {} vertices / {} edges; path cost {}",
         instrs,

@@ -9,7 +9,7 @@ use archexplorer::sim::OooCore;
 fn assert_exact(arch: MicroArch, instrs: &[archexplorer::sim::Instruction]) {
     let r = OooCore::new(arch).run(instrs).expect("simulates");
     let mut deg = induce(build_deg(&r));
-    let path = archexplorer::deg::critical::critical_path_mut(&mut deg);
+    let path = archexplorer::deg::critical::critical_path(&mut deg);
     assert_eq!(
         path.total_delay, r.trace.cycles,
         "critical path must equal runtime for {arch}"

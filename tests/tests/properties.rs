@@ -90,7 +90,7 @@ proptest! {
         let r = OooCore::new(design).run(&trace).expect("simulates");
         let mut deg = induce(build_deg(&r));
         deg.validate().expect("well-formed induced DEG");
-        let path = archexplorer::deg::critical::critical_path_mut(&mut deg);
+        let path = archexplorer::deg::critical::critical_path(&mut deg);
         prop_assert_eq!(path.total_delay, r.trace.cycles);
         let report = archexplorer::deg::bottleneck::analyze(&deg, &path);
         let total = report.total();
