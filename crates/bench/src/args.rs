@@ -1,6 +1,9 @@
-//! Minimal `KEY=VALUE` command-line parsing shared by the experiment
-//! binaries (no external dependency).
+//! `KEY=VALUE` command-line parsing for the experiment binaries — a thin
+//! wrapper over the shared [`archexplorer::cliopt`] parsing used by the
+//! `archx` CLI, so every front end accepts the same dialect.
 
+use archexplorer::cliopt::{self, TelemetryMode};
+use archexplorer::dse::campaign::Method;
 use std::collections::HashMap;
 
 /// Parsed `KEY=VALUE` arguments.
@@ -17,29 +20,20 @@ impl Args {
 
     /// Parses an explicit iterator (for tests).
     pub fn from_args<I: IntoIterator<Item = String>>(iter: I) -> Self {
-        let mut map = HashMap::new();
-        for arg in iter {
-            if let Some((k, v)) = arg.split_once('=') {
-                map.insert(k.to_string(), v.to_string());
-            }
+        let args: Vec<String> = iter.into_iter().collect();
+        Args {
+            map: cliopt::parse_kv(&args),
         }
-        Args { map }
     }
 
     /// Integer argument with default.
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
-        self.map
-            .get(key)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+        cliopt::get(&self.map, key, default)
     }
 
     /// Usize argument with default.
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
-        self.map
-            .get(key)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+        cliopt::get(&self.map, key, default)
     }
 
     /// String argument with default.
@@ -50,12 +44,24 @@ impl Args {
             .unwrap_or_else(|| default.to_string())
     }
 
+    /// Method-list argument (`all`, `paper`, or comma-separated names),
+    /// shared with `archx campaign methods=`.
+    pub fn get_methods(&self, key: &str, default: &str) -> Result<Vec<Method>, String> {
+        cliopt::parse_methods(&self.get_str(key, default))
+    }
+
+    /// Seed-list argument (comma-separated), shared with
+    /// `archx campaign seeds=`.
+    pub fn get_seeds(&self, key: &str, default: &str) -> Result<Vec<u64>, String> {
+        cliopt::parse_seeds(&self.get_str(key, default))
+    }
+
     /// The shared `telemetry=json|pretty|off` argument (default `off`).
     /// When `off`, collection on the global registry is disabled so the
     /// measured experiment pays no telemetry cost.
     pub fn telemetry(&self) -> String {
         let mode = self.get_str("telemetry", "off");
-        if mode == "off" {
+        if TelemetryMode::parse(&mode) == Ok(TelemetryMode::Off) {
             archexplorer::telemetry::global().set_enabled(false);
         }
         mode
@@ -73,5 +79,18 @@ mod tests {
         assert_eq!(a.get_u64("missing", 7), 7);
         assert_eq!(a.get_str("suite", "spec06"), "spec17");
         assert_eq!(a.get_usize("budget", 0), 120);
+    }
+
+    #[test]
+    fn method_and_seed_lists_share_the_cli_dialect() {
+        let a = Args::from_args(["methods=random,boom".to_string(), "seeds=1,2".to_string()]);
+        assert_eq!(
+            a.get_methods("methods", "all").unwrap(),
+            vec![Method::Random, Method::BoomExplorer]
+        );
+        assert_eq!(a.get_seeds("seeds", "1").unwrap(), vec![1, 2]);
+        // Defaults kick in when the key is absent.
+        assert_eq!(a.get_methods("absent", "paper").unwrap(), Method::PAPER_SET);
+        assert_eq!(a.get_seeds("absent", "5").unwrap(), vec![5]);
     }
 }

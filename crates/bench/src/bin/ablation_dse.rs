@@ -60,7 +60,10 @@ fn main() {
     let r = RefPoint::default();
     let mut t = Table::new(["variant", "final_hv", "best_tradeoff", "designs"]);
     for (name, opts) in variants {
-        let ev = Evaluator::new(suite.clone(), instrs, seed);
+        let ev = Evaluator::builder(suite.clone())
+            .window(instrs)
+            .seed(seed)
+            .build();
         let log = run_archexplorer(&space, &ev, budget, &opts);
         let pts: Vec<_> = log.records.iter().map(|rec| rec.ppa).collect();
         let hv = hypervolume(&pts, &r);

@@ -44,7 +44,10 @@ fn main() {
         "feasible_designs",
     ]);
     for (name, constrained) in [("ArchExplorer(constrained)", true), ("Random", false)] {
-        let ev = Evaluator::new(suite.clone(), instrs, 1);
+        let ev = Evaluator::builder(suite.clone())
+            .window(instrs)
+            .seed(1)
+            .build();
         let log = if constrained {
             let opts = ArchExplorerOptions {
                 seed: 1,

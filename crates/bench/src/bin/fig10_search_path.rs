@@ -26,7 +26,7 @@ fn main() {
         .into_iter()
         .filter(|w| w.id.0.contains("lbm") || w.id.0.contains("cactu") || w.id.0.contains("x264"))
         .collect();
-    let evaluator = Evaluator::new(suite, instrs, 1);
+    let evaluator = Evaluator::builder(suite).window(instrs).seed(1).build();
     let space = DesignSpace::table4();
 
     // Start: a mid-size design with the smallest possible store queue.

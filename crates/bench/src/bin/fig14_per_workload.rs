@@ -49,8 +49,11 @@ fn main() {
             best.push((m.to_string(), rec.arch));
         }
 
-        let evaluator = Evaluator::new(suite.clone(), cfg.instrs_per_workload, cfg.seed)
-            .with_threads(cfg.threads);
+        let evaluator = Evaluator::builder(suite.clone())
+            .window(cfg.instrs_per_workload)
+            .seed(cfg.seed)
+            .threads(cfg.threads)
+            .build();
         let mut header = vec!["workload".to_string()];
         header.extend(best.iter().map(|(m, _)| m.clone()));
         let mut t = Table::new(header);

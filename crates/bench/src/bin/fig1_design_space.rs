@@ -77,7 +77,7 @@ fn main() {
         .into_iter()
         .filter(|w| w.id.0.contains("sjeng"))
         .collect();
-    let evaluator = Evaluator::new(suite, instrs, seed);
+    let evaluator = Evaluator::builder(suite).window(instrs).seed(seed).build();
     let space = DesignSpace::table4();
     let mut rng = StdRng::seed_from_u64(seed);
 

@@ -39,6 +39,10 @@
 //! instruction window, then quarantined (reported, never Pareto-eligible)
 //! while the search continues.
 
+use archexplorer::cliopt::{
+    extract_telemetry, get, normalize_flags, parse_kv, parse_method, parse_methods, parse_seeds,
+    TelemetryMode,
+};
 use archexplorer::deg::prelude::*;
 use archexplorer::dse::campaign::{build_evaluator, run_method_on, CampaignConfig};
 use archexplorer::dse::journal::Journal;
@@ -47,97 +51,6 @@ use archexplorer::sim::extern_trace;
 use archexplorer::telemetry;
 use std::collections::HashMap;
 use std::process::ExitCode;
-
-fn parse_kv(args: &[String]) -> HashMap<String, String> {
-    args.iter()
-        .filter_map(|a| {
-            a.split_once('=')
-                .map(|(k, v)| (k.to_string(), v.to_string()))
-        })
-        .collect()
-}
-
-/// Rewrites GNU-style `--journal PATH`, `--resume PATH`, `--cycle-budget N`
-/// and `--retries N` (including their `--flag=value` forms) into the CLI's
-/// native `key=value` arguments.
-fn normalize_flags(args: &[String]) -> Result<Vec<String>, String> {
-    const FLAGS: [(&str, &str); 6] = [
-        ("--journal", "journal"),
-        ("--resume", "resume"),
-        ("--cycle-budget", "cycle_budget"),
-        ("--retries", "retries"),
-        ("--jobs", "jobs"),
-        ("--threads", "threads"),
-    ];
-    let mut out = Vec::with_capacity(args.len());
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        let Some((flag, key)) = FLAGS.iter().find(|(f, _)| {
-            arg == f || (arg.starts_with(f) && arg.as_bytes().get(f.len()) == Some(&b'='))
-        }) else {
-            out.push(arg.clone());
-            continue;
-        };
-        let value = match arg.split_once('=') {
-            Some((_, v)) => v.to_string(),
-            None => it
-                .next()
-                .ok_or_else(|| format!("{flag} needs a value"))?
-                .clone(),
-        };
-        out.push(format!("{key}={value}"));
-    }
-    Ok(out)
-}
-
-/// How the CLI renders the telemetry report after the command finishes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TelemetryMode {
-    Off,
-    Json,
-    Pretty,
-}
-
-impl TelemetryMode {
-    fn parse(text: &str) -> Result<Self, String> {
-        match text {
-            "off" => Ok(TelemetryMode::Off),
-            "json" => Ok(TelemetryMode::Json),
-            "pretty" => Ok(TelemetryMode::Pretty),
-            other => Err(format!(
-                "--telemetry expects json|pretty|off, got `{other}`"
-            )),
-        }
-    }
-}
-
-/// Extracts `--telemetry MODE` / `--telemetry=MODE` / `telemetry=MODE`
-/// from the argument list, returning the remaining arguments and the mode.
-fn extract_telemetry(args: &[String]) -> Result<(Vec<String>, TelemetryMode), String> {
-    let mut rest = Vec::with_capacity(args.len());
-    let mut mode = TelemetryMode::Off;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        if arg == "--telemetry" {
-            let value = it
-                .next()
-                .ok_or("--telemetry needs a value: json|pretty|off")?;
-            mode = TelemetryMode::parse(value)?;
-        } else if let Some(value) = arg
-            .strip_prefix("--telemetry=")
-            .or_else(|| arg.strip_prefix("telemetry="))
-        {
-            mode = TelemetryMode::parse(value)?;
-        } else {
-            rest.push(arg.clone());
-        }
-    }
-    Ok((rest, mode))
-}
-
-fn get<T: std::str::FromStr>(kv: &HashMap<String, String>, key: &str, default: T) -> T {
-    kv.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
-}
 
 fn suite_of(kv: &HashMap<String, String>) -> Suite {
     match kv.get("suite").map(String::as_str) {
@@ -179,7 +92,10 @@ fn cmd_analyze(kv: &HashMap<String, String>) -> Result<(), String> {
     for x in &mut suite {
         x.weight = w;
     }
-    let evaluator = Evaluator::new(suite, get(kv, "instrs", 20_000), get(kv, "seed", 1));
+    let evaluator = Evaluator::builder(suite)
+        .window(get(kv, "instrs", 20_000))
+        .seed(get(kv, "seed", 1))
+        .build();
     println!("design: {arch}");
     let e = evaluator
         .evaluate_with(&arch, Analysis::NewDeg)
@@ -194,18 +110,6 @@ fn cmd_analyze(kv: &HashMap<String, String>) -> Result<(), String> {
     let report = e.report.ok_or("analysis produced no bottleneck report")?;
     println!("{}", report.render());
     Ok(())
-}
-
-fn parse_method(name: &str) -> Result<Method, String> {
-    match name {
-        "archexplorer" => Ok(Method::ArchExplorer),
-        "random" => Ok(Method::Random),
-        "adaboost" => Ok(Method::AdaBoost),
-        "archranker" => Ok(Method::ArchRanker),
-        "boom" | "boom-explorer" => Ok(Method::BoomExplorer),
-        "calipers" => Ok(Method::Calipers),
-        other => Err(format!("unknown method `{other}`")),
-    }
 }
 
 /// `progress=1` streams one line per evaluated design to stderr; under
@@ -330,31 +234,11 @@ fn cmd_explore(kv: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_campaign(kv: &HashMap<String, String>) -> Result<(), String> {
-    let methods: Vec<Method> = match kv.get("methods").map(String::as_str).unwrap_or("all") {
-        "all" => Method::ALL.to_vec(),
-        "paper" => Method::PAPER_SET.to_vec(),
-        list => list
-            .split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .map(parse_method)
-            .collect::<Result<_, _>>()?,
-    };
-    if methods.is_empty() {
-        return Err("methods= selected no methods".into());
-    }
+    let methods = parse_methods(kv.get("methods").map(String::as_str).unwrap_or("all"))?;
     let seeds: Vec<u64> = match kv.get("seeds") {
-        Some(list) => list
-            .split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
-            .collect::<Result<_, _>>()?,
+        Some(list) => parse_seeds(list)?,
         None => vec![get(kv, "seed", 1u64)],
     };
-    if seeds.is_empty() {
-        return Err("seeds= selected no seeds".into());
-    }
     let mut suite = workloads_of(kv)?;
     suite.truncate(get(kv, "workloads", usize::MAX).max(1));
     let w = 1.0 / suite.len() as f64;

@@ -1,0 +1,242 @@
+//! Shared command-line option parsing for the `archx` CLI and the
+//! benchmark binaries.
+//!
+//! Every front end speaks the same dialect — `key=value` arguments, a few
+//! GNU-style flags (`--jobs N`, `--threads N`, `--journal PATH`, …) that
+//! normalise to `key=value`, a `--telemetry json|pretty|off` switch, and
+//! comma-separated method/seed lists — so the parsing lives here once
+//! instead of being copy-pasted per binary.
+
+use archx_dse::campaign::Method;
+use std::collections::HashMap;
+
+/// Collects `key=value` arguments into a map; other arguments are ignored
+/// (positional commands are handled by the caller).
+pub fn parse_kv(args: &[String]) -> HashMap<String, String> {
+    args.iter()
+        .filter_map(|a| {
+            a.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+        })
+        .collect()
+}
+
+/// Rewrites GNU-style `--journal PATH`, `--resume PATH`, `--cycle-budget N`,
+/// `--retries N`, `--jobs N` and `--threads N` (including their
+/// `--flag=value` forms) into the CLI's native `key=value` arguments.
+pub fn normalize_flags(args: &[String]) -> Result<Vec<String>, String> {
+    const FLAGS: [(&str, &str); 6] = [
+        ("--journal", "journal"),
+        ("--resume", "resume"),
+        ("--cycle-budget", "cycle_budget"),
+        ("--retries", "retries"),
+        ("--jobs", "jobs"),
+        ("--threads", "threads"),
+    ];
+    let mut out = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some((flag, key)) = FLAGS.iter().find(|(f, _)| {
+            arg == f || (arg.starts_with(f) && arg.as_bytes().get(f.len()) == Some(&b'='))
+        }) else {
+            out.push(arg.clone());
+            continue;
+        };
+        let value = match arg.split_once('=') {
+            Some((_, v)) => v.to_string(),
+            None => it
+                .next()
+                .ok_or_else(|| format!("{flag} needs a value"))?
+                .clone(),
+        };
+        out.push(format!("{key}={value}"));
+    }
+    Ok(out)
+}
+
+/// How a front end renders the telemetry report after its command runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryMode {
+    /// Collection disabled; nothing printed.
+    Off,
+    /// Machine-readable JSON on stderr.
+    Json,
+    /// Aligned human-readable table on stderr.
+    Pretty,
+}
+
+impl TelemetryMode {
+    /// Parses `json`, `pretty` or `off`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "off" => Ok(TelemetryMode::Off),
+            "json" => Ok(TelemetryMode::Json),
+            "pretty" => Ok(TelemetryMode::Pretty),
+            other => Err(format!(
+                "--telemetry expects json|pretty|off, got `{other}`"
+            )),
+        }
+    }
+}
+
+/// Extracts `--telemetry MODE` / `--telemetry=MODE` / `telemetry=MODE`
+/// from the argument list, returning the remaining arguments and the mode
+/// (default [`TelemetryMode::Off`]).
+pub fn extract_telemetry(args: &[String]) -> Result<(Vec<String>, TelemetryMode), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut mode = TelemetryMode::Off;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--telemetry" {
+            let value = it
+                .next()
+                .ok_or("--telemetry needs a value: json|pretty|off")?;
+            mode = TelemetryMode::parse(value)?;
+        } else if let Some(value) = arg
+            .strip_prefix("--telemetry=")
+            .or_else(|| arg.strip_prefix("telemetry="))
+        {
+            mode = TelemetryMode::parse(value)?;
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((rest, mode))
+}
+
+/// Typed `key=value` lookup with a default for missing or unparsable
+/// values.
+pub fn get<T: std::str::FromStr>(kv: &HashMap<String, String>, key: &str, default: T) -> T {
+    kv.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Parses one method name (`archexplorer`, `random`, `adaboost`,
+/// `archranker`, `boom`/`boom-explorer`, `calipers`).
+pub fn parse_method(name: &str) -> Result<Method, String> {
+    match name {
+        "archexplorer" => Ok(Method::ArchExplorer),
+        "random" => Ok(Method::Random),
+        "adaboost" => Ok(Method::AdaBoost),
+        "archranker" => Ok(Method::ArchRanker),
+        "boom" | "boom-explorer" => Ok(Method::BoomExplorer),
+        "calipers" => Ok(Method::Calipers),
+        other => Err(format!("unknown method `{other}`")),
+    }
+}
+
+/// Parses a method selection: `all` (every implemented method), `paper`
+/// (the Fig. 12 / Table 5 headline set), or a comma-separated list of
+/// method names. Rejects selections that name no methods.
+pub fn parse_methods(spec: &str) -> Result<Vec<Method>, String> {
+    let methods: Vec<Method> = match spec {
+        "all" => Method::ALL.to_vec(),
+        "paper" => Method::PAPER_SET.to_vec(),
+        list => list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(parse_method)
+            .collect::<Result<_, _>>()?,
+    };
+    if methods.is_empty() {
+        return Err("method list selected no methods".into());
+    }
+    Ok(methods)
+}
+
+/// Parses a comma-separated seed list (`1,2,3`). Rejects empty lists and
+/// unparsable entries.
+pub fn parse_seeds(spec: &str) -> Result<Vec<u64>, String> {
+    let seeds: Vec<u64> = spec
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+        .collect::<Result<_, _>>()?;
+    if seeds.is_empty() {
+        return Err("seed list selected no seeds".into());
+    }
+    Ok(seeds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn kv_parsing_collects_pairs_and_ignores_positionals() {
+        let kv = parse_kv(&strings(&["campaign", "budget=120", "suite=spec17"]));
+        assert_eq!(kv.get("budget").map(String::as_str), Some("120"));
+        assert_eq!(kv.get("suite").map(String::as_str), Some("spec17"));
+        assert!(!kv.contains_key("campaign"));
+        assert_eq!(get(&kv, "budget", 0u64), 120);
+        assert_eq!(get(&kv, "missing", 7u64), 7);
+        assert_eq!(get(&kv, "suite", 0u64), 0, "unparsable falls to default");
+    }
+
+    #[test]
+    fn flags_normalize_in_both_spellings() {
+        let out = normalize_flags(&strings(&[
+            "--jobs",
+            "4",
+            "--threads=8",
+            "--journal",
+            "/tmp/j",
+            "budget=10",
+        ]))
+        .expect("parses");
+        assert_eq!(
+            out,
+            strings(&["jobs=4", "threads=8", "journal=/tmp/j", "budget=10"])
+        );
+        // A flag prefix that is not the whole flag name passes through.
+        let out = normalize_flags(&strings(&["--jobsx=4"])).expect("parses");
+        assert_eq!(out, strings(&["--jobsx=4"]));
+    }
+
+    #[test]
+    fn flag_without_value_is_an_error() {
+        let err = normalize_flags(&strings(&["--jobs"])).expect_err("missing value");
+        assert!(err.contains("--jobs"));
+    }
+
+    #[test]
+    fn telemetry_extraction_accepts_all_spellings() {
+        for args in [
+            vec!["x=1", "--telemetry", "json"],
+            vec!["x=1", "--telemetry=json"],
+            vec!["x=1", "telemetry=json"],
+        ] {
+            let (rest, mode) = extract_telemetry(&strings(&args)).expect("parses");
+            assert_eq!(mode, TelemetryMode::Json);
+            assert_eq!(rest, strings(&["x=1"]));
+        }
+        let (_, mode) = extract_telemetry(&strings(&["x=1"])).expect("parses");
+        assert_eq!(mode, TelemetryMode::Off);
+        assert!(extract_telemetry(&strings(&["--telemetry", "loud"])).is_err());
+        assert!(extract_telemetry(&strings(&["--telemetry"])).is_err());
+    }
+
+    #[test]
+    fn method_lists_parse_named_sets_and_csv() {
+        assert_eq!(parse_methods("all").unwrap(), Method::ALL.to_vec());
+        assert_eq!(parse_methods("paper").unwrap(), Method::PAPER_SET.to_vec());
+        assert_eq!(
+            parse_methods("random, boom").unwrap(),
+            vec![Method::Random, Method::BoomExplorer]
+        );
+        assert!(parse_methods("archranker,warp-drive").is_err());
+        assert!(parse_methods(",").is_err());
+    }
+
+    #[test]
+    fn seed_lists_parse_csv() {
+        assert_eq!(parse_seeds("1, 2,3").unwrap(), vec![1, 2, 3]);
+        assert!(parse_seeds("1,x").is_err());
+        assert!(parse_seeds("").is_err());
+    }
+}

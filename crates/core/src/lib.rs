@@ -49,6 +49,7 @@ pub use archx_sim as sim;
 pub use archx_telemetry as telemetry;
 pub use archx_workloads as workloads;
 
+pub mod cliopt;
 pub mod session;
 
 pub use session::{Session, SessionBuilder, SessionError, Suite};

@@ -7,7 +7,7 @@ use archx_dse::eval::{Analysis, DesignEval, EvalFailure, Evaluator, RunLog, SimL
 use archx_dse::space::DesignSpace;
 use archx_sim::MicroArch;
 use archx_telemetry::ProgressSink;
-use archx_workloads::{spec06_suite, spec17_suite, Workload};
+use archx_workloads::{spec06_suite, spec17_suite, TraceStore, Workload};
 use std::sync::Arc;
 
 /// Which bundled workload suite to use.
@@ -92,6 +92,7 @@ pub struct SessionBuilder {
     threads: usize,
     cycle_budget: Option<u64>,
     max_retries: u32,
+    trace_store: Option<Arc<TraceStore>>,
 }
 
 impl Default for SessionBuilder {
@@ -105,6 +106,7 @@ impl Default for SessionBuilder {
             threads: archx_dse::default_threads(),
             cycle_budget: None,
             max_retries: 1,
+            trace_store: None,
         }
     }
 }
@@ -161,7 +163,16 @@ impl SessionBuilder {
         self
     }
 
-    /// Builds the session (synthesises the workload traces).
+    /// Resolves workload traces through `store` instead of the
+    /// process-global [`TraceStore`]. Sessions sharing a store share
+    /// their synthesised traces zero-copy.
+    pub fn trace_store(mut self, store: Arc<TraceStore>) -> Self {
+        self.trace_store = Some(store);
+        self
+    }
+
+    /// Builds the session (resolves the workload traces through the
+    /// trace store, synthesising only those not already shared).
     pub fn build(self) -> Session {
         let mut suite = self.suite.workloads();
         suite.truncate(self.workload_limit);
@@ -169,17 +180,17 @@ impl SessionBuilder {
         for wl in &mut suite {
             wl.weight = w;
         }
-        let evaluator = Evaluator::new(
-            suite.clone(),
-            self.instrs_per_workload,
-            self.trace_seed.unwrap_or(self.seed),
-        )
-        .with_threads(self.threads)
-        .with_limits(SimLimits {
-            cycle_budget: self.cycle_budget,
-            ..SimLimits::default()
-        })
-        .with_max_retries(self.max_retries);
+        let evaluator = Evaluator::builder(suite.clone())
+            .window(self.instrs_per_workload)
+            .seed(self.trace_seed.unwrap_or(self.seed))
+            .trace_store(self.trace_store.unwrap_or_else(TraceStore::global))
+            .threads(self.threads)
+            .limits(SimLimits {
+                cycle_budget: self.cycle_budget,
+                ..SimLimits::default()
+            })
+            .max_retries(self.max_retries)
+            .build();
         Session {
             space: DesignSpace::table4(),
             suite,

@@ -7,12 +7,20 @@
 //! simulator's scoreboard — which instruction's release of which entry
 //! unblocked each stall.
 
+use crate::arena::DegArena;
 use crate::graph::{Deg, EdgeKind, Stage};
 use archx_sim::trace::{InstrIdx, SimResult, NO_INSTR};
 
 /// Builds the new-formulation DEG for a full simulation result.
 pub fn build_deg(result: &SimResult) -> Deg {
     build_deg_window(result, 0, result.trace.events.len())
+}
+
+/// Like [`build_deg`], but recycles graph storage from `arena` instead of
+/// allocating it — the campaign hot path. Hand the graph back with
+/// [`DegArena::recycle`] once analysis is done.
+pub fn build_deg_in(arena: &mut DegArena, result: &SimResult) -> Deg {
+    build_deg_window_in(arena, result, 0, result.trace.events.len())
 }
 
 /// Builds the DEG over the half-open instruction window `[start, end)`.
@@ -25,6 +33,20 @@ pub fn build_deg(result: &SimResult) -> Deg {
 ///
 /// Panics if the window is out of bounds or empty.
 pub fn build_deg_window(result: &SimResult, start: usize, end: usize) -> Deg {
+    build_deg_window_in(&mut DegArena::new(), result, start, end)
+}
+
+/// Windowed variant of [`build_deg_in`]; see [`build_deg_window`].
+///
+/// # Panics
+///
+/// Panics if the window is out of bounds or empty.
+pub fn build_deg_window_in(
+    arena: &mut DegArena,
+    result: &SimResult,
+    start: usize,
+    end: usize,
+) -> Deg {
     assert!(
         start < end && end <= result.trace.events.len(),
         "bad window"
@@ -33,13 +55,15 @@ pub fn build_deg_window(result: &SimResult, start: usize, end: usize) -> Deg {
     let events = &result.trace.events[start..end];
     let n = events.len() as u32;
 
-    let mut times = Vec::with_capacity((n * 10) as usize);
+    let mut parts = arena.take_parts();
+    parts.times.clear();
+    parts.times.reserve((n * 10) as usize);
     for ev in events {
-        times.extend_from_slice(&[
+        parts.times.extend_from_slice(&[
             ev.f1, ev.f2, ev.f, ev.dc, ev.r, ev.dp, ev.i, ev.m, ev.p, ev.c,
         ]);
     }
-    let mut deg = Deg::new(n, times);
+    let mut deg = Deg::from_parts(n, parts);
 
     let in_window = |idx: InstrIdx| -> Option<InstrIdx> {
         if idx == NO_INSTR {

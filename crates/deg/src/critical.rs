@@ -12,6 +12,7 @@
 //! `F1(I0)` (time 0) whenever the induced DEG connects it, making the
 //! critical-path length exactly the simulated runtime.
 
+use crate::arena::DegArena;
 use crate::graph::{Deg, Edge, NodeId, Stage};
 use archx_sim::trace::Cycle;
 
@@ -54,6 +55,17 @@ impl CriticalPath {
 ///
 /// Panics on an empty graph.
 pub fn critical_path(deg: &mut Deg) -> CriticalPath {
+    critical_path_in(&mut DegArena::new(), deg)
+}
+
+/// Like [`critical_path`], but borrows the dynamic-program arrays and the
+/// topological-order buffers from `arena` instead of allocating them — the
+/// campaign hot path. The result is identical to [`critical_path`].
+///
+/// # Panics
+///
+/// Panics on an empty graph.
+pub fn critical_path_in(arena: &mut DegArena, deg: &mut Deg) -> CriticalPath {
     assert!(deg.instr_count() > 0, "empty DEG");
     let _timed = archx_telemetry::span("deg/critical");
     deg.freeze();
@@ -63,12 +75,26 @@ pub fn critical_path(deg: &mut Deg) -> CriticalPath {
     // attributed-delay tie-break prefers spans covered by real dependence
     // and pipeline edges over virtual hops, so attribution loses as little
     // of the runtime as possible.
-    let mut cost = vec![0u64; n];
-    let mut delay = vec![0u64; n];
-    let mut attr = vec![0u64; n];
-    let mut pred: Vec<Option<Edge>> = vec![None; n];
+    let DegArena {
+        cost,
+        delay,
+        attr,
+        pred,
+        topo_counts,
+        topo_order,
+        ..
+    } = arena;
+    cost.clear();
+    cost.resize(n, 0u64);
+    delay.clear();
+    delay.resize(n, 0u64);
+    attr.clear();
+    attr.resize(n, 0u64);
+    pred.clear();
+    pred.resize(n, None);
+    deg.topo_order_into(topo_counts, topo_order);
 
-    for node in deg.topo_order() {
+    for &node in topo_order.iter() {
         let c0 = cost[node as usize];
         let d0 = delay[node as usize];
         let a0 = attr[node as usize];

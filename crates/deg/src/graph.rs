@@ -172,6 +172,16 @@ pub struct Deg {
     csr_edges: Vec<u32>,
 }
 
+/// Raw graph storage in transit between a consumed [`Deg`] and the next
+/// one built from the same arena (capacities preserved, contents stale).
+#[derive(Debug, Default)]
+pub(crate) struct DegParts {
+    pub(crate) times: Vec<Cycle>,
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) csr_starts: Vec<u32>,
+    pub(crate) csr_edges: Vec<u32>,
+}
+
 impl Deg {
     /// Creates a graph over `instrs` instructions with all vertex times.
     ///
@@ -194,6 +204,40 @@ impl Deg {
             instrs,
             csr_starts: Vec::new(),
             csr_edges: Vec::new(),
+        }
+    }
+
+    /// Rebuilds a graph from recycled storage (see
+    /// [`DegArena`](crate::arena::DegArena)): semantically identical to
+    /// [`Deg::new`] but every vector keeps its prior capacity. The edge
+    /// list and CSR buffers are cleared here; `times` must already hold the
+    /// new vertex times.
+    pub(crate) fn from_parts(instrs: u32, mut parts: DegParts) -> Self {
+        assert_eq!(
+            parts.times.len(),
+            (instrs * STAGES_PER_INSTR) as usize,
+            "expected {} vertex times",
+            instrs * STAGES_PER_INSTR
+        );
+        parts.edges.clear();
+        parts.csr_starts.clear();
+        parts.csr_edges.clear();
+        Deg {
+            times: parts.times,
+            edges: parts.edges,
+            instrs,
+            csr_starts: parts.csr_starts,
+            csr_edges: parts.csr_edges,
+        }
+    }
+
+    /// Decomposes the graph into its raw storage for recycling.
+    pub(crate) fn into_parts(self) -> DegParts {
+        DegParts {
+            times: self.times,
+            edges: self.edges,
+            csr_starts: self.csr_starts,
+            csr_edges: self.csr_edges,
         }
     }
 
@@ -277,34 +321,51 @@ impl Deg {
     /// id-order pass within each time bucket yields the full key order in
     /// O(V + T) instead of a comparison sort.
     pub fn topo_order(&self) -> Vec<NodeId> {
+        let mut counts = Vec::new();
+        let mut order = Vec::new();
+        self.topo_order_into(&mut counts, &mut order);
+        order
+    }
+
+    /// Allocation-free variant of [`Deg::topo_order`]: writes the order
+    /// into `order`, using `counts` as counting-sort scratch. Both vectors
+    /// are cleared and resized, keeping their capacity — the arena-reuse
+    /// path of [`critical_path_in`](crate::critical::critical_path_in).
+    pub fn topo_order_into(&self, counts: &mut Vec<u32>, order: &mut Vec<NodeId>) {
+        order.clear();
         let n = self.node_count();
         if n == 0 {
-            return Vec::new();
+            return;
         }
         let max_t = *self.times.iter().max().expect("non-empty") as usize;
-        let mut counts = vec![0u32; max_t + 2];
+        counts.clear();
+        counts.resize(max_t + 2, 0);
         for &t in &self.times {
             counts[t as usize + 1] += 1;
         }
         for i in 0..=max_t {
             counts[i + 1] += counts[i];
         }
-        let mut order = vec![0 as NodeId; n];
+        order.resize(n, 0);
         for id in 0..n as NodeId {
             let t = self.times[id as usize] as usize;
             order[counts[t] as usize] = id;
             counts[t] += 1;
         }
-        order
     }
 
     /// Builds (if needed) and returns CSR access to outgoing edges.
+    ///
+    /// The CSR buffers are reused in place (capacity kept) when the graph
+    /// came from recycled storage.
     pub fn freeze(&mut self) {
         if !self.csr_starts.is_empty() {
             return;
         }
         let n = self.node_count();
-        let mut counts = vec![0u32; n + 1];
+        let mut counts = std::mem::take(&mut self.csr_starts);
+        counts.clear();
+        counts.resize(n + 1, 0);
         for e in &self.edges {
             counts[e.from as usize + 1] += 1;
         }
@@ -312,7 +373,9 @@ impl Deg {
             counts[i + 1] += counts[i];
         }
         let mut slots = counts.clone();
-        let mut csr = vec![0u32; self.edges.len()];
+        let mut csr = std::mem::take(&mut self.csr_edges);
+        csr.clear();
+        csr.resize(self.edges.len(), 0);
         for (idx, e) in self.edges.iter().enumerate() {
             csr[slots[e.from as usize] as usize] = idx as u32;
             slots[e.from as usize] += 1;

@@ -252,7 +252,11 @@ mod tests {
 
     fn tiny_evaluator() -> Evaluator {
         let suite: Vec<_> = spec06_suite().into_iter().take(2).collect();
-        Evaluator::new(suite, 2_000, 7).with_threads(1)
+        Evaluator::builder(suite)
+            .window(2_000)
+            .seed(7)
+            .threads(1)
+            .build()
     }
 
     #[test]

@@ -109,7 +109,11 @@ mod tests {
     fn runs_within_budget_and_learns() {
         let suite: Vec<_> = spec06_suite().into_iter().take(2).collect();
         let space = DesignSpace::table4();
-        let ev = Evaluator::new(suite.clone(), 1_000, 1).with_threads(1);
+        let ev = Evaluator::builder(suite.clone())
+            .window(1_000)
+            .seed(1)
+            .threads(1)
+            .build();
         let log = run_adaboost(&space, &ev, 30, 7, &AdaBoostOptions::default());
         assert!(ev.sim_count() >= 30);
         assert!(!log.records.is_empty());
@@ -119,7 +123,11 @@ mod tests {
             assert!(w[1].1 >= w[0].1);
         }
         // And a random run on the same budget also works (smoke parity).
-        let ev2 = Evaluator::new(suite, 1_000, 1).with_threads(1);
+        let ev2 = Evaluator::builder(suite)
+            .window(1_000)
+            .seed(1)
+            .threads(1)
+            .build();
         let _ = run_random_search(&space, &ev2, 30, 7);
     }
 }

@@ -153,7 +153,11 @@ mod tests {
     #[test]
     fn respects_budget() {
         let suite: Vec<_> = spec06_suite().into_iter().take(2).collect();
-        let ev = Evaluator::new(suite, 1_000, 1).with_threads(1);
+        let ev = Evaluator::builder(suite)
+            .window(1_000)
+            .seed(1)
+            .threads(1)
+            .build();
         let log = run_boom_explorer(&DesignSpace::table4(), &ev, 24, 5, &BoomOptions::default());
         assert!(ev.sim_count() >= 24);
         assert!(log.records.len() >= 12);

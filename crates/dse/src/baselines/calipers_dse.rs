@@ -35,7 +35,11 @@ mod tests {
     #[test]
     fn runs_and_uses_static_reports() {
         let suite: Vec<_> = spec06_suite().into_iter().take(2).collect();
-        let ev = Evaluator::new(suite, 1_000, 1).with_threads(1);
+        let ev = Evaluator::builder(suite)
+            .window(1_000)
+            .seed(1)
+            .threads(1)
+            .build();
         let log = run_calipers_dse(
             &DesignSpace::table4(),
             &ev,

@@ -34,7 +34,11 @@ mod tests {
     #[test]
     fn explores_until_budget() {
         let suite: Vec<_> = spec06_suite().into_iter().take(2).collect();
-        let ev = Evaluator::new(suite, 1_000, 1).with_threads(1);
+        let ev = Evaluator::builder(suite)
+            .window(1_000)
+            .seed(1)
+            .threads(1)
+            .build();
         let log = run_random_search(&DesignSpace::table4(), &ev, 10, 42);
         assert!(ev.sim_count() >= 10);
         assert!(log.records.len() >= 5);

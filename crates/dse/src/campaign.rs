@@ -33,7 +33,7 @@ use crate::governor::ThreadGovernor;
 use crate::pareto::RefPoint;
 use crate::space::DesignSpace;
 use archx_telemetry::{self as telemetry, LabelledSink, ProgressSink};
-use archx_workloads::Workload;
+use archx_workloads::{TraceStore, Workload};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -133,19 +133,32 @@ impl Default for CampaignConfig {
 
 /// Builds the evaluator [`run_method`] would use for this configuration.
 /// Exposed so callers can attach a journal / warm-start it before calling
-/// [`run_method_on`].
+/// [`run_method_on`]. Traces resolve through the process-global
+/// [`TraceStore`], so every evaluator a campaign builds for the same
+/// `(workload, trace seed, window)` shares one synthesised trace.
 pub fn build_evaluator(suite: &[Workload], cfg: &CampaignConfig) -> Evaluator {
-    Evaluator::new(
-        suite.to_vec(),
-        cfg.instrs_per_workload,
-        cfg.trace_seed.unwrap_or(cfg.seed),
-    )
-    .with_threads(cfg.threads)
-    .with_limits(SimLimits {
-        cycle_budget: cfg.cycle_budget,
-        deadlock_watchdog: SimLimits::default().deadlock_watchdog,
-    })
-    .with_max_retries(cfg.max_retries)
+    build_evaluator_in(suite, cfg, TraceStore::global())
+}
+
+/// Like [`build_evaluator`], resolving traces through a caller-supplied
+/// [`TraceStore`] — useful to isolate a campaign's hit/miss accounting or
+/// to bound the store's lifetime to the campaign.
+pub fn build_evaluator_in(
+    suite: &[Workload],
+    cfg: &CampaignConfig,
+    store: Arc<TraceStore>,
+) -> Evaluator {
+    Evaluator::builder(suite.to_vec())
+        .window(cfg.instrs_per_workload)
+        .seed(cfg.trace_seed.unwrap_or(cfg.seed))
+        .trace_store(store)
+        .threads(cfg.threads)
+        .limits(SimLimits {
+            cycle_budget: cfg.cycle_budget,
+            deadlock_watchdog: SimLimits::default().deadlock_watchdog,
+        })
+        .max_retries(cfg.max_retries)
+        .build()
 }
 
 /// Runs one method on a fresh evaluator over the given suite.
@@ -346,6 +359,7 @@ pub struct CampaignRunner<'a> {
     parallel: ParallelConfig,
     sink: Option<Arc<dyn ProgressSink>>,
     setup: Option<&'a RunSetup<'a>>,
+    trace_store: Option<Arc<TraceStore>>,
 }
 
 impl fmt::Debug for CampaignRunner<'_> {
@@ -354,6 +368,7 @@ impl fmt::Debug for CampaignRunner<'_> {
             .field("parallel", &self.parallel)
             .field("sink", &self.sink.is_some())
             .field("setup", &self.setup.is_some())
+            .field("trace_store", &self.trace_store.is_some())
             .finish()
     }
 }
@@ -371,6 +386,7 @@ impl<'a> CampaignRunner<'a> {
             parallel: ParallelConfig::default(),
             sink: None,
             setup: None,
+            trace_store: None,
         }
     }
 
@@ -390,6 +406,16 @@ impl<'a> CampaignRunner<'a> {
     /// Attaches a per-run setup hook (journal attachment, warm start).
     pub fn setup(mut self, setup: &'a RunSetup<'a>) -> Self {
         self.setup = Some(setup);
+        self
+    }
+
+    /// Resolves every run's traces through `store` instead of the
+    /// process-global [`TraceStore`]. All runs of a campaign share one
+    /// trace seed, so each `(workload, window)` pair is synthesised at
+    /// most once for the whole campaign — even at `jobs > 1`, where the
+    /// first-arriving job synthesises and the rest share the `Arc`.
+    pub fn trace_store(mut self, store: Arc<TraceStore>) -> Self {
+        self.trace_store = Some(store);
         self
     }
 
@@ -419,7 +445,9 @@ impl<'a> CampaignRunner<'a> {
                 trace_seed: Some(cfg.trace_seed.unwrap_or(cfg.seed)),
                 ..cfg.clone()
             };
-            let evaluator = build_evaluator(suite, &run_cfg).with_governor(Arc::clone(&governor));
+            let store = self.trace_store.clone().unwrap_or_else(TraceStore::global);
+            let evaluator =
+                build_evaluator_in(suite, &run_cfg, store).with_governor(Arc::clone(&governor));
             if let Some(sink) = &self.sink {
                 evaluator
                     .set_progress_sink(Arc::new(LabelledSink::new(spec.label(), Arc::clone(sink))));

@@ -24,20 +24,42 @@
 use crate::governor::ThreadGovernor;
 use crate::journal::{Journal, JournalFingerprint, JournalRecord};
 use crate::pareto::{ExplorationSet, RefPoint};
-use archx_deg::{build_deg, critical, induce, merge_reports, BottleneckReport};
+use archx_deg::{build_deg_in, critical, induce, merge_reports, BottleneckReport, DegArena};
 use archx_power::{PowerModel, PpaResult};
+use archx_sim::arena::SimArena;
 use archx_sim::isa::Instruction;
 use archx_sim::pipeline::DEADLOCK_WATCHDOG;
 use archx_sim::{Cycle, MicroArch, OooCore, SimError};
 use archx_telemetry::{self as telemetry, Progress, ProgressSink};
-use archx_workloads::Workload;
+use archx_workloads::{TraceStore, Workload};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Per-worker-thread scratch memory for the evaluation hot path: the
+/// simulator's working set plus the DEG builder/critical-path buffers.
+/// Cleared (never reallocated) between evaluations; see the arena docs for
+/// the identity guarantee.
+#[derive(Default)]
+struct EvalArena {
+    sim: SimArena,
+    deg: DegArena,
+    used: bool,
+}
+
+thread_local! {
+    /// One arena per worker thread. Campaign jobs evaluate with
+    /// `threads = 1` on a long-lived worker thread, so this persists
+    /// across the thousands of evaluations of a run — the intended hot
+    /// path. Threads spawned per-attempt (multi-threaded evaluators) get
+    /// fresh arenas and merely lose the reuse benefit.
+    static EVAL_ARENA: RefCell<EvalArena> = RefCell::new(EvalArena::default());
+}
 
 /// Outcome of one workload's simulation attempt: its PPA and (when
 /// requested) bottleneck report, or the typed error that stopped it.
@@ -209,10 +231,157 @@ impl Default for ProgressMeta {
     }
 }
 
+/// Staged construction for [`Evaluator`].
+///
+/// Replaces the positional `Evaluator::new(workloads, instrs, seed)`
+/// constructor: every knob is named, defaults are explicit, and traces are
+/// resolved through a shared [`TraceStore`] so concurrent evaluators over
+/// the same `(workload, seed, window)` key share one synthesised trace
+/// zero-copy instead of regenerating it.
+///
+/// ```
+/// use archx_dse::eval::Evaluator;
+/// use archx_workloads::spec06_suite;
+/// let eval = Evaluator::builder(spec06_suite())
+///     .window(5_000)
+///     .seed(1)
+///     .threads(1)
+///     .build();
+/// assert_eq!(eval.workloads().len(), spec06_suite().len());
+/// ```
+#[derive(Debug)]
+pub struct EvaluatorBuilder {
+    workloads: Vec<Workload>,
+    window: usize,
+    seed: u64,
+    trace_store: Option<Arc<TraceStore>>,
+    threads: usize,
+    governor: Option<Arc<ThreadGovernor>>,
+    limits: SimLimits,
+    max_retries: u32,
+    journal: Option<Journal>,
+    arena_reuse: bool,
+}
+
+impl EvaluatorBuilder {
+    /// Starts a builder over `workloads` with the defaults the paper
+    /// experiments use: a 20 000-instruction window, trace seed 1, all
+    /// available threads, no governor, default [`SimLimits`], one retry,
+    /// the process-global trace store, and arena reuse on.
+    pub fn new(workloads: Vec<Workload>) -> Self {
+        EvaluatorBuilder {
+            workloads,
+            window: 20_000,
+            seed: 1,
+            trace_store: None,
+            threads: crate::default_threads(),
+            governor: None,
+            limits: SimLimits::default(),
+            max_retries: 1,
+            journal: None,
+            arena_reuse: true,
+        }
+    }
+
+    /// Instruction window per workload trace (clamped to at least 1).
+    pub fn window(mut self, instrs: usize) -> Self {
+        self.window = instrs.max(1);
+        self
+    }
+
+    /// Seed for trace synthesis.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Resolves traces through `store` instead of the process-global
+    /// [`TraceStore::global`]. Evaluators sharing a store share traces
+    /// zero-copy; a dedicated store also makes its hit/miss counters
+    /// observable in isolation.
+    pub fn trace_store(mut self, store: Arc<TraceStore>) -> Self {
+        self.trace_store = Some(store);
+        self
+    }
+
+    /// Worker threads (1 = fully serial; results are identical either
+    /// way).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Subjects worker threads beyond the caller's to a shared
+    /// [`ThreadGovernor`]; see [`Evaluator::with_governor`].
+    pub fn governor(mut self, governor: Arc<ThreadGovernor>) -> Self {
+        self.governor = Some(governor);
+        self
+    }
+
+    /// Per-simulation limits (cycle budget, deadlock watchdog).
+    pub fn limits(mut self, limits: SimLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Bounds retries of retryable failures (each retry halves the
+    /// instruction window again). Default: 1.
+    pub fn max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Attaches a write-ahead journal from the start; equivalent to
+    /// calling [`Evaluator::set_journal`] on the built evaluator.
+    pub fn journal(mut self, journal: Journal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Toggles per-worker-thread scratch arenas for the sim/DEG hot path
+    /// (on by default). Results are byte-identical either way; off is
+    /// only useful for benchmarking the cold allocation path.
+    pub fn arena_reuse(mut self, on: bool) -> Self {
+        self.arena_reuse = on;
+        self
+    }
+
+    /// Resolves every trace through the store (synthesising at most once
+    /// per `(workload, seed, window)` key per store) and builds the
+    /// evaluator.
+    pub fn build(self) -> Evaluator {
+        let store = self.trace_store.unwrap_or_else(TraceStore::global);
+        let traces = self
+            .workloads
+            .iter()
+            .map(|w| store.get(w, self.window, self.seed))
+            .collect();
+        Evaluator {
+            workloads: self.workloads,
+            traces,
+            instrs_per_workload: self.window,
+            trace_seed: self.seed,
+            power: PowerModel::default(),
+            threads: self.threads,
+            governor: self.governor,
+            limits: self.limits,
+            max_retries: self.max_retries,
+            arena_reuse: self.arena_reuse,
+            sims: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            cache: Mutex::new(HashMap::new()),
+            quarantine: Mutex::new(Vec::new()),
+            journal: Mutex::new(self.journal),
+            journal_error: Mutex::new(None),
+            progress: Mutex::new(ProgressMeta::default()),
+        }
+    }
+}
+
 /// Shared evaluator with a design cache and a simulation budget counter.
 pub struct Evaluator {
     workloads: Vec<Workload>,
-    traces: Vec<Vec<Instruction>>,
+    traces: Vec<Arc<[Instruction]>>,
     instrs_per_workload: usize,
     trace_seed: u64,
     power: PowerModel,
@@ -220,6 +389,7 @@ pub struct Evaluator {
     governor: Option<Arc<ThreadGovernor>>,
     limits: SimLimits,
     max_retries: u32,
+    arena_reuse: bool,
     sims: AtomicU64,
     retries: AtomicU64,
     cache: Mutex<HashMap<MicroArch, Result<DesignEval, EvalFailure>>>,
@@ -233,7 +403,7 @@ impl std::fmt::Debug for Evaluator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Evaluator")
             .field("workloads", &self.workloads.len())
-            .field("instrs", &self.traces.first().map_or(0, Vec::len))
+            .field("instrs", &self.traces.first().map_or(0, |t| t.len()))
             .field("sims", &self.sim_count())
             .field("quarantined", &self.quarantine_len())
             .finish()
@@ -241,31 +411,22 @@ impl std::fmt::Debug for Evaluator {
 }
 
 impl Evaluator {
+    /// Starts an [`EvaluatorBuilder`] over `workloads`.
+    pub fn builder(workloads: Vec<Workload>) -> EvaluatorBuilder {
+        EvaluatorBuilder::new(workloads)
+    }
+
     /// Builds an evaluator over `workloads`, synthesising
     /// `instrs_per_workload` instructions per trace with the given seed.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Evaluator::builder(workloads).window(n).seed(s).build()`"
+    )]
     pub fn new(workloads: Vec<Workload>, instrs_per_workload: usize, seed: u64) -> Self {
-        let traces = workloads
-            .iter()
-            .map(|w| w.generate(instrs_per_workload, seed))
-            .collect();
-        Evaluator {
-            workloads,
-            traces,
-            instrs_per_workload,
-            trace_seed: seed,
-            power: PowerModel::default(),
-            threads: crate::default_threads(),
-            governor: None,
-            limits: SimLimits::default(),
-            max_retries: 1,
-            sims: AtomicU64::new(0),
-            retries: AtomicU64::new(0),
-            cache: Mutex::new(HashMap::new()),
-            quarantine: Mutex::new(Vec::new()),
-            journal: Mutex::new(None),
-            journal_error: Mutex::new(None),
-            progress: Mutex::new(ProgressMeta::default()),
-        }
+        Evaluator::builder(workloads)
+            .window(instrs_per_workload)
+            .seed(seed)
+            .build()
     }
 
     /// Restricts worker threads (1 = fully serial, deterministic ordering
@@ -512,6 +673,53 @@ impl Evaluator {
         }
     }
 
+    /// Simulates one trace and runs the requested analysis, borrowing all
+    /// scratch memory from `arena`. Consumed buffers are recycled back
+    /// into the arena on every exit path that still owns them; a panic
+    /// mid-simulation loses the checked-out buffers (they regrow on the
+    /// next use), never corrupts them.
+    fn run_workload(
+        &self,
+        arch: &MicroArch,
+        analysis: Analysis,
+        trace: &[Instruction],
+        arena: &mut EvalArena,
+    ) -> Result<(PpaResult, Option<BottleneckReport>), EvalError> {
+        let mut core = OooCore::try_new(*arch)
+            .map_err(EvalError::Sim)?
+            .with_deadlock_watchdog(self.limits.deadlock_watchdog);
+        if let Some(budget) = self.limits.cycle_budget {
+            core = core.with_cycle_budget(budget);
+        }
+        let started = Instant::now();
+        let result = {
+            let _timed = telemetry::span("simulate");
+            core.run_in(&mut arena.sim, trace).map_err(EvalError::Sim)?
+        };
+        telemetry::record("eval/sim_latency_us", started.elapsed().as_micros() as u64);
+        result.stats.export_telemetry();
+        let ppa = self.power.evaluate(arch, &result.stats);
+        if !(ppa.ipc.is_finite() && ppa.power_w.is_finite() && ppa.area_mm2.is_finite()) {
+            arena.sim.recycle(result);
+            return Err(EvalError::NonFinitePpa);
+        }
+        let report = match analysis {
+            Analysis::None => None,
+            Analysis::NewDeg => {
+                let mut deg = induce(build_deg_in(&mut arena.deg, &result));
+                let path = critical::critical_path_in(&mut arena.deg, &mut deg);
+                let report = archx_deg::bottleneck::analyze(&deg, &path);
+                arena.deg.recycle(deg);
+                Some(report)
+            }
+            Analysis::Calipers => {
+                Some(archx_deg::CalipersModel::from_arch(arch).analyze(&result).1)
+            }
+        };
+        arena.sim.recycle(result);
+        Ok((ppa, report))
+    }
+
     /// One evaluation attempt over the whole suite. Costs one simulation
     /// per workload whatever happens (so budgets terminate even under
     /// total failure, and accounting is identical for any thread count).
@@ -533,37 +741,23 @@ impl Evaluator {
             let _root = telemetry::root_scope();
             let _scope = telemetry::scope("eval");
             let full = &self.traces[i];
+            // Retry sub-slicing: attempt k reads the first `len >> (k-1)`
+            // instructions of the shared trace — a prefix view, never a
+            // regeneration (the synthesiser's stream is prefix-stable).
             let window = (full.len() / divisor).max(1).min(full.len());
             let trace = &full[..window];
-            let mut core = OooCore::try_new(*arch)
-                .map_err(EvalError::Sim)?
-                .with_deadlock_watchdog(self.limits.deadlock_watchdog);
-            if let Some(budget) = self.limits.cycle_budget {
-                core = core.with_cycle_budget(budget);
+            if self.arena_reuse {
+                EVAL_ARENA.with(|cell| {
+                    let arena = &mut *cell.borrow_mut();
+                    if arena.used {
+                        telemetry::counter_add("arena/reuse", 1);
+                    }
+                    arena.used = true;
+                    self.run_workload(arch, analysis, trace, arena)
+                })
+            } else {
+                self.run_workload(arch, analysis, trace, &mut EvalArena::default())
             }
-            let started = Instant::now();
-            let result = {
-                let _timed = telemetry::span("simulate");
-                core.run(trace).map_err(EvalError::Sim)?
-            };
-            telemetry::record("eval/sim_latency_us", started.elapsed().as_micros() as u64);
-            result.stats.export_telemetry();
-            let ppa = self.power.evaluate(arch, &result.stats);
-            if !(ppa.ipc.is_finite() && ppa.power_w.is_finite() && ppa.area_mm2.is_finite()) {
-                return Err(EvalError::NonFinitePpa);
-            }
-            let report = match analysis {
-                Analysis::None => None,
-                Analysis::NewDeg => {
-                    let mut deg = induce(build_deg(&result));
-                    let path = critical::critical_path(&mut deg);
-                    Some(archx_deg::bottleneck::analyze(&deg, &path))
-                }
-                Analysis::Calipers => {
-                    Some(archx_deg::CalipersModel::from_arch(arch).analyze(&result).1)
-                }
-            };
-            Ok((ppa, report))
         };
         // A panicking worker must fail the design, not the campaign.
         let guarded = |i: usize| -> AttemptOutcome {
@@ -784,7 +978,11 @@ mod tests {
 
     fn small_eval() -> Evaluator {
         let suite: Vec<Workload> = spec06_suite().into_iter().take(2).collect();
-        Evaluator::new(suite, 2_000, 1).with_threads(1)
+        Evaluator::builder(suite)
+            .window(2_000)
+            .seed(1)
+            .threads(1)
+            .build()
     }
 
     #[test]
@@ -813,8 +1011,16 @@ mod tests {
     #[test]
     fn parallel_matches_serial() {
         let suite: Vec<Workload> = spec06_suite().into_iter().take(3).collect();
-        let serial = Evaluator::new(suite.clone(), 2_000, 1).with_threads(1);
-        let parallel = Evaluator::new(suite, 2_000, 1).with_threads(3);
+        let serial = Evaluator::builder(suite.clone())
+            .window(2_000)
+            .seed(1)
+            .threads(1)
+            .build();
+        let parallel = Evaluator::builder(suite)
+            .window(2_000)
+            .seed(1)
+            .threads(3)
+            .build();
         let a = serial
             .evaluate_with(&MicroArch::baseline(), Analysis::NewDeg)
             .expect("evaluates");
@@ -847,12 +1053,15 @@ mod tests {
         // commit, on the full window and on the halved retry window.
         let ev = {
             let suite: Vec<Workload> = spec06_suite().into_iter().take(2).collect();
-            Evaluator::new(suite, 2_000, 1)
-                .with_threads(1)
-                .with_limits(SimLimits {
+            Evaluator::builder(suite)
+                .window(2_000)
+                .seed(1)
+                .threads(1)
+                .limits(SimLimits {
                     cycle_budget: None,
                     deadlock_watchdog: 1,
                 })
+                .build()
         };
         let arch = MicroArch::baseline();
         let failure = ev.evaluate(&arch).expect_err("must fail");
@@ -874,12 +1083,15 @@ mod tests {
     #[test]
     fn cycle_budget_trips_as_typed_failure() {
         let suite: Vec<Workload> = spec06_suite().into_iter().take(2).collect();
-        let ev = Evaluator::new(suite, 2_000, 1)
-            .with_threads(1)
-            .with_limits(SimLimits {
+        let ev = Evaluator::builder(suite)
+            .window(2_000)
+            .seed(1)
+            .threads(1)
+            .limits(SimLimits {
                 cycle_budget: Some(3),
                 deadlock_watchdog: 1_000_000,
-            });
+            })
+            .build();
         let failure = ev.evaluate(&MicroArch::baseline()).expect_err("must fail");
         assert_eq!(failure.error.tag(), "cycle_budget");
         assert_eq!(ev.quarantine_len(), 1);
@@ -905,12 +1117,15 @@ mod tests {
             .cycles;
         assert!(half < full);
         let budget = (half + full) / 2;
-        let ev = Evaluator::new(suite, 2_000, 1)
-            .with_threads(1)
-            .with_limits(SimLimits {
+        let ev = Evaluator::builder(suite)
+            .window(2_000)
+            .seed(1)
+            .threads(1)
+            .limits(SimLimits {
                 cycle_budget: Some(budget),
                 deadlock_watchdog: 1_000_000,
-            });
+            })
+            .build();
         let eval = ev.evaluate(&arch).expect("retry succeeds");
         assert!(eval.ppa.ipc > 0.0);
         assert_eq!(ev.retry_count(), 1);

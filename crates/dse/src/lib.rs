@@ -58,14 +58,14 @@ pub fn default_threads() -> usize {
 pub mod prelude {
     pub use crate::archexplorer::{run_archexplorer, ArchExplorerOptions};
     pub use crate::campaign::{
-        aggregate_curves, build_evaluator, run_journal_path, run_method, run_method_observed,
-        run_method_on, sweep, Campaign, CampaignConfig, CampaignError, CampaignRunner, Method,
-        ParallelConfig, RunSpec, SweepCurve,
+        aggregate_curves, build_evaluator, build_evaluator_in, run_journal_path, run_method,
+        run_method_observed, run_method_on, sweep, Campaign, CampaignConfig, CampaignError,
+        CampaignRunner, Method, ParallelConfig, RunSpec, SweepCurve,
     };
     pub use crate::default_threads;
     pub use crate::eval::{
-        Analysis, DesignEval, EvalError, EvalFailure, EvalRecord, Evaluator, QuarantineEntry,
-        RunLog, SimLimits,
+        Analysis, DesignEval, EvalError, EvalFailure, EvalRecord, Evaluator, EvaluatorBuilder,
+        QuarantineEntry, RunLog, SimLimits,
     };
     pub use crate::governor::{Lease, ThreadGovernor};
     pub use crate::journal::{Journal, JournalError, JournalFingerprint, JournalRecord};
@@ -75,12 +75,13 @@ pub mod prelude {
 
 pub use archexplorer::{run_archexplorer, ArchExplorerOptions};
 pub use campaign::{
-    aggregate_curves, build_evaluator, run_journal_path, run_method, run_method_on, sweep,
-    Campaign, CampaignConfig, CampaignError, CampaignRunner, Method, ParallelConfig, RunSpec,
-    SweepCurve,
+    aggregate_curves, build_evaluator, build_evaluator_in, run_journal_path, run_method,
+    run_method_on, sweep, Campaign, CampaignConfig, CampaignError, CampaignRunner, Method,
+    ParallelConfig, RunSpec, SweepCurve,
 };
 pub use eval::{
-    Analysis, DesignEval, EvalError, EvalFailure, Evaluator, QuarantineEntry, RunLog, SimLimits,
+    Analysis, DesignEval, EvalError, EvalFailure, Evaluator, EvaluatorBuilder, QuarantineEntry,
+    RunLog, SimLimits,
 };
 pub use governor::{Lease, ThreadGovernor};
 pub use journal::{Journal, JournalError, JournalFingerprint, JournalRecord};

@@ -1,0 +1,148 @@
+//! Reusable simulation scratch memory.
+//!
+//! A campaign evaluates thousands of design points, and every
+//! [`OooCore::run`](crate::OooCore::run) used to allocate its working set
+//! from scratch: the per-instruction event table (with two heap vectors per
+//! entry), the auxiliary scoreboard, six pipeline queues, the store-set
+//! conflict table, and the wakeup heap. A [`SimArena`] owns all of that
+//! between runs so [`OooCore::run_in`](crate::OooCore::run_in) can *clear*
+//! instead of *reallocate*.
+//!
+//! Ownership model: the arena is owned by one worker thread (it is `Send`
+//! but deliberately not shared). `run_in` borrows every buffer for the
+//! duration of one simulation; the event table and the instruction copy
+//! move *into* the returned [`SimResult`], and the caller hands them back
+//! with [`SimArena::recycle`] once the result has been consumed. Buffers
+//! left in the arena (queues, scoreboard, conflict table) are cleared by
+//! the next `run_in`, so a recycled arena never leaks state between
+//! design points — results are byte-identical to a cold run.
+
+use crate::isa::Instruction;
+use crate::pipeline::{Aux, FetchBlock};
+use crate::trace::{Cycle, InstrEvents, InstrIdx, ResourceKind, SimResult};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Recyclable scratch buffers for one simulation worker.
+///
+/// ```
+/// use archx_sim::{arena::SimArena, MicroArch, OooCore, trace_gen};
+/// let core = OooCore::new(MicroArch::baseline());
+/// let trace = trace_gen::linear_int_chain(100);
+/// let mut arena = SimArena::new();
+/// for _ in 0..3 {
+///     let result = core.run_in(&mut arena, &trace).expect("simulates");
+///     assert_eq!(result.stats.committed, 100);
+///     arena.recycle(result); // reclaim the event table for the next run
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct SimArena {
+    /// Per-instruction event records, reset (capacity kept) per run.
+    pub(crate) events: Vec<InstrEvents>,
+    /// Buffer for the instruction copy embedded in each `SimResult`.
+    pub(crate) instructions: Vec<Instruction>,
+    /// Per-instruction private scoreboard.
+    pub(crate) aux: Vec<Aux>,
+    /// In-flight fetch blocks.
+    pub(crate) blocks: VecDeque<FetchBlock>,
+    /// Fetch queue.
+    pub(crate) ftq: VecDeque<InstrIdx>,
+    /// Decode queue.
+    pub(crate) decq: VecDeque<InstrIdx>,
+    /// Issue queue (program-ordered).
+    pub(crate) iq: VecDeque<InstrIdx>,
+    /// Renamed, uncommitted stores.
+    pub(crate) sq_live: VecDeque<InstrIdx>,
+    /// Issued, uncommitted loads.
+    pub(crate) lq_live: VecDeque<InstrIdx>,
+    /// Resources the rename head is currently blocked on.
+    pub(crate) blocked_kinds: Vec<ResourceKind>,
+    /// Store-set conflict counters, per load PC.
+    pub(crate) conflict: HashMap<u64, u8>,
+    /// Completion times of in-flight instructions (idle fast-forward).
+    pub(crate) pending_p: BinaryHeap<Reverse<Cycle>>,
+}
+
+impl SimArena {
+    /// Creates an empty arena; buffers grow on first use and stick.
+    pub fn new() -> Self {
+        SimArena::default()
+    }
+
+    /// Reclaims the event table and instruction buffer from a consumed
+    /// [`SimResult`], so the next [`run_in`](crate::OooCore::run_in) on
+    /// this arena reuses their allocations (including the per-entry
+    /// `rename_stalls` / `data_deps` vectors — the bulk of the win).
+    pub fn recycle(&mut self, result: SimResult) {
+        if result.trace.events.capacity() > self.events.capacity() {
+            self.events = result.trace.events;
+        }
+        if result.instructions.capacity() > self.instructions.capacity() {
+            self.instructions = result.instructions;
+        }
+    }
+
+    /// Hands out the event table sized and reset for `n` instructions.
+    pub(crate) fn take_events(&mut self, n: usize) -> Vec<InstrEvents> {
+        let mut events = std::mem::take(&mut self.events);
+        events.truncate(n);
+        for ev in events.iter_mut() {
+            ev.reset();
+        }
+        events.resize_with(n, InstrEvents::blank);
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MicroArch;
+    use crate::pipeline::OooCore;
+    use crate::trace_gen;
+
+    #[test]
+    fn run_in_matches_run_across_reuse() {
+        let core = OooCore::new(MicroArch::baseline());
+        let mut arena = SimArena::new();
+        for seed in [1u64, 2, 3] {
+            let trace = trace_gen::mixed_workload(2_000, seed);
+            let cold = core.run(&trace).expect("simulates");
+            let warm = core.run_in(&mut arena, &trace).expect("simulates");
+            assert_eq!(cold, warm, "arena reuse must not change results");
+            arena.recycle(warm);
+        }
+    }
+
+    #[test]
+    fn reuse_across_different_lengths_and_archs() {
+        let mut arena = SimArena::new();
+        let mut arch = MicroArch::baseline();
+        for (n, width) in [(3_000usize, 4u32), (500, 2), (1_500, 8)] {
+            arch.width = width;
+            arch.int_alu = width.max(3);
+            let core = OooCore::new(arch);
+            let trace = trace_gen::mixed_workload(n, 7);
+            let cold = core.run(&trace).expect("simulates");
+            let warm = core.run_in(&mut arena, &trace).expect("simulates");
+            assert_eq!(cold, warm);
+            arena.recycle(warm);
+        }
+    }
+
+    #[test]
+    fn error_paths_return_buffers_to_the_arena() {
+        let core = OooCore::new(MicroArch::baseline()).with_cycle_budget(10);
+        let mut arena = SimArena::new();
+        let trace = trace_gen::mixed_workload(5_000, 1);
+        assert!(core.run_in(&mut arena, &trace).is_err());
+        // The event table was reinstalled, not leaked into the error.
+        assert!(arena.events.capacity() >= 5_000);
+        // And the arena still produces correct results afterwards.
+        let full = OooCore::new(MicroArch::baseline());
+        let cold = full.run(&trace).expect("simulates");
+        let warm = full.run_in(&mut arena, &trace).expect("simulates");
+        assert_eq!(cold, warm);
+    }
+}

@@ -38,6 +38,7 @@
 //! cycle budgets ([`OooCore::with_cycle_budget`]), invalid configurations
 //! and external-trace ingestion errors.
 
+pub mod arena;
 pub mod bpred;
 pub mod cache;
 pub mod config;
@@ -52,6 +53,7 @@ pub mod stats;
 pub mod trace;
 pub mod trace_gen;
 
+pub use arena::SimArena;
 pub use config::MicroArch;
 pub use error::SimError;
 pub use isa::{Instruction, OpClass, Reg, RegClass};

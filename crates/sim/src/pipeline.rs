@@ -13,6 +13,7 @@
 //! resolves, so the measured squash latency depends on how long the branch
 //! actually took to execute — the dynamic behaviour the paper's DEG needs.
 
+use crate::arena::SimArena;
 use crate::bpred::BranchPredictor;
 use crate::cache::Hierarchy;
 use crate::config::{MemDepPolicy, MicroArch};
@@ -22,11 +23,9 @@ use crate::isa::{Instruction, OpClass, RegClass};
 use crate::resources::Pool;
 use crate::stats::SimStats;
 use crate::trace::{
-    Cycle, FuKind, FuWait, InstrEvents, InstrIdx, PipelineTrace, RenameStall, ResourceKind,
-    SimResult, NO_INSTR,
+    Cycle, FuKind, FuWait, InstrIdx, PipelineTrace, RenameStall, ResourceKind, SimResult, NO_INSTR,
 };
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
 
 const UNSET: Cycle = Cycle::MAX;
 
@@ -43,7 +42,7 @@ pub const DEADLOCK_WATCHDOG: Cycle = 1_000_000;
 
 /// Per-instruction bookkeeping that is not part of the public trace.
 #[derive(Debug, Clone)]
-struct Aux {
+pub(crate) struct Aux {
     rob: u32,
     iq: u32,
     lq: u32,
@@ -74,29 +73,13 @@ impl Default for Aux {
 
 /// A block of consecutive instructions brought in by one I-cache access.
 #[derive(Debug, Clone)]
-struct FetchBlock {
+pub(crate) struct FetchBlock {
     /// Next instruction (index into the trace) to move to the fetch queue.
     next: InstrIdx,
     /// One past the last instruction of the block.
     end: InstrIdx,
     /// Cycle at which the block is available (F2).
     ready_at: Cycle,
-}
-
-fn blank_events() -> InstrEvents {
-    InstrEvents {
-        f1: UNSET,
-        f2: UNSET,
-        f: UNSET,
-        dc: UNSET,
-        r: UNSET,
-        dp: UNSET,
-        i: UNSET,
-        m: UNSET,
-        p: UNSET,
-        c: UNSET,
-        ..InstrEvents::default()
-    }
 }
 
 /// The simulated out-of-order core.
@@ -170,10 +153,26 @@ impl OooCore {
     /// [`SimError::CycleBudgetExceeded`] when a configured
     /// [cycle budget](OooCore::with_cycle_budget) runs out first.
     pub fn run(&self, instructions: &[Instruction]) -> Result<SimResult, SimError> {
+        self.run_in(&mut SimArena::new(), instructions)
+    }
+
+    /// Like [`OooCore::run`], but borrows the scratch working set (event
+    /// table, pipeline queues, scoreboard, wakeup heap) from `arena`
+    /// instead of allocating it — the hot path for campaigns that simulate
+    /// thousands of design points. Results are identical to [`run`]
+    /// (see [`SimArena`] for the ownership/clearing contract); call
+    /// [`SimArena::recycle`] with the consumed result to reclaim the event
+    /// table for the next run.
+    ///
+    /// [`run`]: OooCore::run
+    pub fn run_in(
+        &self,
+        arena: &mut SimArena,
+        instructions: &[Instruction],
+    ) -> Result<SimResult, SimError> {
         let n = instructions.len() as InstrIdx;
         let arch = &self.arch;
-        let mut events: Vec<InstrEvents> = vec![blank_events(); instructions.len()];
-        let mut aux: Vec<Aux> = vec![Aux::default(); instructions.len()];
+        let mut events = arena.take_events(instructions.len());
         let mut stats = SimStats::default();
 
         if instructions.is_empty() {
@@ -183,6 +182,26 @@ impl OooCore {
                 instructions: Vec::new(),
             });
         }
+
+        // Split the remaining scratch buffers out of the arena (disjoint
+        // field borrows) and clear them; `events` alone moves into the
+        // result, everything else stays owned by the arena.
+        let SimArena {
+            events: arena_events,
+            instructions: arena_instrs,
+            aux,
+            blocks,
+            ftq,
+            decq,
+            iq,
+            sq_live,
+            lq_live,
+            blocked_kinds,
+            conflict,
+            pending_p,
+        } = arena;
+        aux.clear();
+        aux.resize(instructions.len(), Aux::default());
 
         let mut bpred = BranchPredictor::new(arch);
         let mut mem = Hierarchy::new(arch);
@@ -207,7 +226,7 @@ impl OooCore {
         let mut fetch_idx: InstrIdx = 0;
         // Up to two in-flight fetch blocks: the I-cache access for the next
         // block is pipelined with draining the current one.
-        let mut blocks: VecDeque<FetchBlock> = VecDeque::new();
+        blocks.clear();
         let mut fetch_blocked_by: Option<InstrIdx> = None;
         let mut refill_pending: Option<InstrIdx> = None;
         // Last instruction whose fetch-buffer block was fully drained (its
@@ -216,21 +235,21 @@ impl OooCore {
         // Last instruction moved into the fetch queue in an earlier cycle
         // (the releaser for fetch-bandwidth waits).
         let mut last_moved: Option<InstrIdx> = None;
-        let mut ftq: VecDeque<InstrIdx> = VecDeque::new();
-        let mut decq: VecDeque<InstrIdx> = VecDeque::new();
+        ftq.clear();
+        decq.clear();
         let decq_cap = (2 * arch.width) as usize;
 
         // Back end.
-        let mut iq: VecDeque<InstrIdx> = VecDeque::new();
+        iq.clear();
         // Rename stall bookkeeping for the in-order head.
-        let mut blocked_kinds: Vec<ResourceKind> = Vec::new();
+        blocked_kinds.clear();
         // In-flight (renamed, uncommitted) stores for memory ordering.
-        let mut sq_live: VecDeque<InstrIdx> = VecDeque::new();
+        sq_live.clear();
         // In-flight issued, uncommitted loads (for violation detection
         // under store-set speculation).
-        let mut lq_live: VecDeque<InstrIdx> = VecDeque::new();
+        lq_live.clear();
         // Per-load-PC saturating conflict counters (store-set predictor).
-        let mut conflict: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        conflict.clear();
 
         let mut commit_head: InstrIdx = 0;
         let mut cycle: Cycle = 0;
@@ -238,7 +257,7 @@ impl OooCore {
         let mut occupancy_acc = [0u64; 6];
         // Completion times of issued, uncommitted instructions — the next
         // possible wakeup/commit events, used to fast-forward idle cycles.
-        let mut pending_p: BinaryHeap<Reverse<Cycle>> = BinaryHeap::new();
+        pending_p.clear();
 
         while commit_head < n {
             // ---- Commit (in-order, up to width per cycle) ----
@@ -406,9 +425,10 @@ impl OooCore {
                     });
                 }
                 // True data dependencies: producers still in flight at
-                // dispatch time.
+                // dispatch time. The entry's own (cleared) vector is taken
+                // and reinstalled so its capacity survives arena reuse.
                 let dp_at = je.dp;
-                let mut deps: Vec<InstrIdx> = Vec::new();
+                let mut deps = std::mem::take(&mut je.data_deps);
                 for s in 0..2 {
                     let prod = aux[j as usize].src_producers[s];
                     if prod != NO_INSTR && events[prod as usize].p > dp_at && !deps.contains(&prod)
@@ -765,7 +785,7 @@ impl OooCore {
             occupancy_acc[5] += fp_rf.in_use() as u64 * advance;
             // Rename stalls persist through the skipped cycles.
             if advance > 1 {
-                for &kind in &blocked_kinds {
+                for &kind in blocked_kinds.iter() {
                     let ki = ResourceKind::ALL
                         .iter()
                         .position(|&x| x == kind)
@@ -776,6 +796,7 @@ impl OooCore {
 
             cycle += advance;
             if cycle - last_commit_cycle >= self.watchdog {
+                *arena_events = events; // reinstall for the next run
                 return Err(SimError::Deadlock {
                     cycle,
                     commit_head,
@@ -784,6 +805,7 @@ impl OooCore {
             }
             if let Some(budget) = self.cycle_budget {
                 if cycle > budget {
+                    *arena_events = events; // reinstall for the next run
                     return Err(SimError::CycleBudgetExceeded {
                         budget,
                         committed: stats.committed,
@@ -793,7 +815,7 @@ impl OooCore {
             }
         }
 
-        let _ = &pending_p;
+        let _ = &*pending_p;
         let total_cycles = events
             .last()
             .map(|e| e.c)
@@ -808,13 +830,16 @@ impl OooCore {
             };
         }
 
+        let mut owned_instrs = std::mem::take(arena_instrs);
+        owned_instrs.clear();
+        owned_instrs.extend_from_slice(instructions);
         Ok(SimResult {
             trace: PipelineTrace {
                 events,
                 cycles: total_cycles,
             },
             stats,
-            instructions: instructions.to_vec(),
+            instructions: owned_instrs,
         })
     }
 }

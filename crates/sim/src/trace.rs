@@ -181,6 +181,40 @@ impl InstrEvents {
     pub fn lifetime(&self) -> Cycle {
         self.c.saturating_sub(self.f1)
     }
+
+    /// A fresh pre-run record: every stage cycle unset (`Cycle::MAX`), no
+    /// dependence records.
+    pub fn blank() -> Self {
+        let mut ev = InstrEvents::default();
+        ev.reset();
+        ev
+    }
+
+    /// Resets to the pre-run blank state while keeping the capacity of the
+    /// per-instruction `rename_stalls` / `data_deps` vectors — the
+    /// allocation-reuse path used by [`crate::arena::SimArena`].
+    pub fn reset(&mut self) {
+        self.f1 = Cycle::MAX;
+        self.f2 = Cycle::MAX;
+        self.f = Cycle::MAX;
+        self.dc = Cycle::MAX;
+        self.r = Cycle::MAX;
+        self.dp = Cycle::MAX;
+        self.i = Cycle::MAX;
+        self.m = Cycle::MAX;
+        self.p = Cycle::MAX;
+        self.c = Cycle::MAX;
+        self.rename_stalls.clear();
+        self.fu_wait = None;
+        self.data_deps.clear();
+        self.mispredicted = false;
+        self.refill_from = None;
+        self.fetch_slot_from = None;
+        self.fetch_bw_from = None;
+        self.mem_dep_violation = None;
+        self.icache_miss = false;
+        self.dcache_miss = false;
+    }
 }
 
 /// The full microexecution record of a simulation.

@@ -23,10 +23,12 @@ pub mod generator;
 pub mod phases;
 pub mod simpoints;
 pub mod spec;
+pub mod store;
 pub mod suite_file;
 
 pub use generator::{BranchProfile, MemoryProfile, OpMix, WorkloadSpec};
 pub use phases::{Phase, PhasedWorkload};
 pub use simpoints::{estimate, pick_simpoints, Simpoint};
 pub use spec::{spec06_suite, spec17_suite, Workload, WorkloadId};
+pub use store::{TraceKey, TraceStore};
 pub use suite_file::parse_suite;

@@ -12,6 +12,7 @@ use crate::generator::{BranchProfile, MemoryProfile, OpMix, WorkloadSpec};
 use archx_sim::isa::Instruction;
 use serde::Serialize;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a named workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
@@ -46,11 +47,17 @@ impl Workload {
 
     /// Synthesises a trace of `n` instructions; seed is derived from the
     /// workload's name so different workloads differ even at equal seeds.
-    pub fn generate(&self, n: usize, seed: u64) -> Vec<Instruction> {
+    ///
+    /// The trace is handed out as an immutable `Arc<[Instruction]>` so
+    /// callers (and the [`crate::store::TraceStore`]) can share it
+    /// zero-copy; slice it (`&trace[..n]`) for shorter windows — the
+    /// generator emits a prefix-stable stream, so `generate(n)` equals the
+    /// first `n` instructions of `generate(2n)`.
+    pub fn generate(&self, n: usize, seed: u64) -> Arc<[Instruction]> {
         let name_hash = self.id.0.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
             (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
         });
-        self.spec.generate(n, seed ^ name_hash)
+        self.spec.generate(n, seed ^ name_hash).into()
     }
 }
 

@@ -1,0 +1,204 @@
+//! Process-wide, content-addressed trace store.
+//!
+//! Synthesising a workload trace is the single most expensive setup step on
+//! the evaluation path, and campaigns repeat it constantly: every
+//! [`Evaluator`](../../archx_dse/eval) used to call [`Workload::generate`]
+//! for its whole suite, so a six-method × five-seed campaign synthesised the
+//! same twelve traces thirty times over. The [`TraceStore`] makes the trace
+//! a shared immutable value instead: it is content-addressed by
+//! `(workload id, seed, instr window)` and hands out `Arc<[Instruction]>`,
+//! so each distinct trace is synthesised **exactly once per process** and
+//! every evaluator, campaign job, and bench bin after that shares the same
+//! allocation zero-copy. Halved-window retries never come back here at all —
+//! they slice the full-window `Arc` (`&trace[..window]`), which the
+//! prefix-stable generator guarantees is identical to a fresh shorter run.
+//!
+//! Concurrency: the map only guards *cell* creation; synthesis itself runs
+//! outside the map lock inside a per-key [`OnceLock`], so two jobs racing on
+//! a cold key block on that key alone (one synthesises, the other waits) and
+//! unrelated keys proceed in parallel.
+//!
+//! Observability: each lookup bumps the global telemetry counters
+//! `trace_store/hit` and `trace_store/miss` plus per-instance atomics
+//! ([`TraceStore::hits`] / [`TraceStore::misses`]) that tests and benches
+//! can assert on without races from other stores in the process.
+
+use crate::spec::{Workload, WorkloadId};
+use archx_sim::isa::Instruction;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Content address of a synthesised trace: which workload, which generator
+/// seed, and how many instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// The workload's name (workload identity is its name — two `Workload`
+    /// values with the same id generate identical streams).
+    pub workload: WorkloadId,
+    /// Seed passed to [`Workload::generate`].
+    pub seed: u64,
+    /// Instruction-window length (the `n` passed to `generate`).
+    pub window: usize,
+}
+
+/// Per-key cell: created under the map lock, filled outside it.
+type Cell = Arc<OnceLock<Arc<[Instruction]>>>;
+
+/// Shared, immutable, content-addressed store of synthesised traces.
+///
+/// Cheap to share (`Arc<TraceStore>`); the process-wide default instance is
+/// [`TraceStore::global`]. A fresh instance (`TraceStore::new`) is useful in
+/// tests and benches that want isolated hit/miss counters or a deliberately
+/// cold cache.
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    map: Mutex<HashMap<TraceKey, Cell>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TraceStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        TraceStore::default()
+    }
+
+    /// The process-wide shared store. Evaluators default to this, so every
+    /// campaign and bench bin in one process shares one trace per key.
+    pub fn global() -> Arc<TraceStore> {
+        static GLOBAL: OnceLock<Arc<TraceStore>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(TraceStore::new())).clone()
+    }
+
+    /// Returns the trace for `(workload, seed, window)`, synthesising it on
+    /// first access and sharing the same `Arc` on every subsequent one.
+    ///
+    /// Concurrent first accesses of the same key synthesise once: the loser
+    /// of the race blocks until the winner's trace is published.
+    pub fn get(&self, workload: &Workload, window: usize, seed: u64) -> Arc<[Instruction]> {
+        let key = TraceKey {
+            workload: workload.id,
+            seed,
+            window,
+        };
+        let cell: Cell = {
+            let mut map = self.map.lock().expect("trace store poisoned");
+            map.entry(key).or_default().clone()
+        };
+        // Fast path: already synthesised.
+        if let Some(trace) = cell.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            archx_telemetry::counter_add("trace_store/hit", 1);
+            return trace.clone();
+        }
+        let mut synthesised = false;
+        let trace = cell
+            .get_or_init(|| {
+                synthesised = true;
+                workload.generate(window, seed)
+            })
+            .clone();
+        if synthesised {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            archx_telemetry::counter_add("trace_store/miss", 1);
+        } else {
+            // Lost the init race: someone else synthesised while we waited.
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            archx_telemetry::counter_add("trace_store/hit", 1);
+        }
+        trace
+    }
+
+    /// Number of lookups served from an already-synthesised trace.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that synthesised a new trace (exactly one per
+    /// distinct key, however many threads race on it).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct keys currently resident.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("trace store poisoned").len()
+    }
+
+    /// True when no trace has been requested yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec06_suite;
+
+    #[test]
+    fn same_key_returns_pointer_equal_arc() {
+        let store = TraceStore::new();
+        let suite = spec06_suite();
+        let a = store.get(&suite[0], 500, 1);
+        let b = store.get(&suite[0], 500, 1);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one allocation");
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.hits(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_are_distinct_traces() {
+        let store = TraceStore::new();
+        let suite = spec06_suite();
+        let a = store.get(&suite[0], 500, 1);
+        let by_seed = store.get(&suite[0], 500, 2);
+        let by_window = store.get(&suite[0], 400, 1);
+        let by_workload = store.get(&suite[1], 500, 1);
+        assert!(!Arc::ptr_eq(&a, &by_seed));
+        assert!(!Arc::ptr_eq(&a, &by_workload));
+        assert_ne!(a, by_seed);
+        assert_ne!(a, by_workload);
+        assert_eq!(by_window.len(), 400);
+        assert_eq!(store.misses(), 4);
+        assert_eq!(store.len(), 4);
+    }
+
+    #[test]
+    fn store_matches_direct_generation() {
+        let store = TraceStore::new();
+        let suite = spec06_suite();
+        assert_eq!(store.get(&suite[2], 600, 7), suite[2].generate(600, 7));
+    }
+
+    #[test]
+    fn shorter_window_is_prefix_of_longer() {
+        // The retry path slices `&full[..window]` instead of regenerating;
+        // that is only sound because the generator is prefix-stable.
+        let store = TraceStore::new();
+        let suite = spec06_suite();
+        let full = store.get(&suite[0], 2_000, 1);
+        let half = store.get(&suite[0], 1_000, 1);
+        assert_eq!(&full[..1_000], &half[..]);
+    }
+
+    #[test]
+    fn concurrent_first_access_synthesises_once() {
+        let store = Arc::new(TraceStore::new());
+        let suite = Arc::new(spec06_suite());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let store = store.clone();
+                let suite = suite.clone();
+                std::thread::spawn(move || store.get(&suite[0], 4_000, 1))
+            })
+            .collect();
+        let traces: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for t in &traces[1..] {
+            assert!(Arc::ptr_eq(&traces[0], t));
+        }
+        assert_eq!(store.misses(), 1, "4 racing threads, 1 synthesis");
+        assert_eq!(store.hits(), 3);
+    }
+}

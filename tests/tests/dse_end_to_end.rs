@@ -78,7 +78,11 @@ fn constrained_objective_finds_feasible_designs() {
         power_cap: 0.2,
         area_cap: 5.0,
     };
-    let ev = Evaluator::new(suite(), 3_000, 1).with_threads(2);
+    let ev = Evaluator::builder(suite())
+        .window(3_000)
+        .seed(1)
+        .threads(2)
+        .build();
     let opts = ArchExplorerOptions {
         seed: 5,
         objective,

@@ -52,8 +52,11 @@ fn branch_hostile_code_raises_bpred() {
     };
     let arch = MicroArch::baseline();
     let bpred_of = |w| {
-        Evaluator::new(vec![w], 8_000, 1)
-            .with_threads(1)
+        Evaluator::builder(vec![w])
+            .window(8_000)
+            .seed(1)
+            .threads(1)
+            .build()
             .evaluate_with(&arch, Analysis::NewDeg)
             .expect("evaluates")
             .report

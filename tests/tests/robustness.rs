@@ -39,13 +39,16 @@ fn all_failing_campaign_still_finishes_its_budget() {
     // A 3-cycle budget makes every simulation fail: the campaign must
     // quarantine everything, charge every attempt against the budget, and
     // terminate instead of spinning or aborting.
-    let ev = Evaluator::new(suite(), 2_000, 9)
-        .with_threads(2)
-        .with_limits(SimLimits {
+    let ev = Evaluator::builder(suite())
+        .window(2_000)
+        .seed(9)
+        .threads(2)
+        .limits(SimLimits {
             cycle_budget: Some(3),
             ..SimLimits::default()
         })
-        .with_max_retries(1);
+        .max_retries(1)
+        .build();
     let log = run_method_on(Method::Random, &DesignSpace::table4(), &ev, 12, 9);
     assert!(
         ev.sim_count() >= 12,
@@ -186,7 +189,11 @@ fn resume_rejects_a_mismatched_campaign() {
 
     // Different trace seed → different workloads → journaled results are
     // not transferable; resume must refuse rather than corrupt a search.
-    let other = Evaluator::new(suite(), 2_000, 1234).with_threads(1);
+    let other = Evaluator::builder(suite())
+        .window(2_000)
+        .seed(1234)
+        .threads(1)
+        .build();
     let err = Journal::resume(&path, &other.fingerprint(vec![])).expect_err("must mismatch");
     assert!(err.to_string().contains("trace_seed"), "got: {err}");
 
