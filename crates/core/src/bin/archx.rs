@@ -9,6 +9,8 @@
 //!                [--cycle-budget N] [--retries N]
 //! archx export   [workload=NAME] [instrs=N] [seed=N]        # trace to stdout
 //! archx import   file=TRACE                                  # analyze external trace
+//! archx verify   [--designs N] [--seed N] [--window N] [--report PATH]
+//!                [--inject FAULT] [PARAM=V ...]              # invariant sweep
 //! archx space                                                # design-space summary
 //! ```
 //!
@@ -38,6 +40,15 @@
 //! deadlock, exceed the budget, or panic are retried once on a halved
 //! instruction window, then quarantined (reported, never Pareto-eligible)
 //! while the search continues.
+//!
+//! `verify` sweeps seeded-random designs × workloads × windows through the
+//! simulator with per-cycle invariant checking (`CheckedCore`), the DEG
+//! validation oracles (acyclicity, Table 2 endpoints, critical-path
+//! exactness) and metamorphic checks; failures shrink to a minimal
+//! reproducer and `--report PATH` writes a machine-readable JSON violation
+//! report. `--inject rob-off-by-one` intentionally breaks an invariant to
+//! prove the checker fires, Table 4 overrides (`Rob=32 ...`) pin a single
+//! design for repro runs, and the exit status is nonzero on any violation.
 
 use archexplorer::cliopt::{
     extract_telemetry, get, normalize_flags, parse_kv, parse_method, parse_methods, parse_seeds,
@@ -425,6 +436,73 @@ fn cmd_import(kv: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_verify(kv: &HashMap<String, String>) -> Result<(), String> {
+    use archexplorer::dse::verify::{run_verify, VerifyConfig};
+    use archexplorer::sim::InjectedFault;
+    let mut workloads = workloads_of(kv)?;
+    workloads.truncate(get(kv, "workloads", usize::MAX).max(1));
+    if let Some(name) = kv.get("workload") {
+        workloads.retain(|w| w.id.0.contains(name.as_str()));
+        if workloads.is_empty() {
+            return Err(format!("no workload matching `{name}`"));
+        }
+    }
+    let mut cfg = VerifyConfig {
+        designs: get(kv, "designs", 16usize).max(1),
+        seed: get(kv, "seed", 1u64),
+        window: get(kv, "window", 2_000usize),
+        workloads,
+        fault: kv
+            .get("inject")
+            .map(|s| InjectedFault::parse(s))
+            .transpose()?,
+        metamorphic: get(kv, "metamorphic", 1u8) == 1,
+        only_design: None,
+    };
+    // Table 4 overrides (`Rob=32 Iq=80 ...`) pin a single design — the
+    // repro mode the shrunk `command` lines in the JSON report use.
+    if kv
+        .keys()
+        .any(|k| ParamId::ALL.iter().any(|p| format!("{p}") == *k))
+    {
+        cfg.only_design = Some(arch_with_overrides(kv)?);
+    }
+    eprintln!(
+        "verifying {} design(s) (seed {}, window {}) across {} workload(s)...",
+        cfg.only_design.map_or(cfg.designs, |_| 1),
+        cfg.seed,
+        cfg.window,
+        cfg.workloads.len()
+    );
+    let report = run_verify(&cfg);
+    if let Some(path) = kv.get("report") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("violation report written to {path}");
+    }
+    println!(
+        "swept {} design(s), {} check(s) passed, {} violation(s)",
+        report.designs,
+        report.checks,
+        report.violations.len()
+    );
+    if report.ok() {
+        return Ok(());
+    }
+    for v in &report.violations {
+        println!(
+            "violation [{}] on {} (window {}): {}",
+            v.check, v.workload, v.window, v.detail
+        );
+        if let Some(r) = &v.shrunk {
+            println!("  shrunk repro: {}", r.command);
+        }
+    }
+    Err(format!(
+        "{} invariant violation(s)",
+        report.violations.len()
+    ))
+}
+
 fn cmd_space() -> Result<(), String> {
     let space = DesignSpace::table4();
     println!("Table 4 design space: {} designs", space.size());
@@ -461,8 +539,8 @@ fn main() -> ExitCode {
     }
     let Some(cmd) = args.first() else {
         eprintln!(
-            "usage: archx <analyze|explore|campaign|export|import|space> [key=value ...] \
-             [--telemetry json|pretty|off]"
+            "usage: archx <analyze|explore|campaign|export|import|verify|space> \
+             [key=value ...] [--telemetry json|pretty|off]"
         );
         return ExitCode::FAILURE;
     };
@@ -473,6 +551,7 @@ fn main() -> ExitCode {
         "campaign" => cmd_campaign(&kv),
         "export" => cmd_export(&kv),
         "import" => cmd_import(&kv),
+        "verify" => cmd_verify(&kv),
         "space" => cmd_space(),
         other => Err(format!("unknown command `{other}`")),
     };

@@ -22,16 +22,22 @@ pub fn parse_kv(args: &[String]) -> HashMap<String, String> {
 }
 
 /// Rewrites GNU-style `--journal PATH`, `--resume PATH`, `--cycle-budget N`,
-/// `--retries N`, `--jobs N` and `--threads N` (including their
+/// `--retries N`, `--jobs N`, `--threads N`, `--designs N`, `--seed N`,
+/// `--window N`, `--report PATH` and `--inject FAULT` (including their
 /// `--flag=value` forms) into the CLI's native `key=value` arguments.
 pub fn normalize_flags(args: &[String]) -> Result<Vec<String>, String> {
-    const FLAGS: [(&str, &str); 6] = [
+    const FLAGS: [(&str, &str); 11] = [
         ("--journal", "journal"),
         ("--resume", "resume"),
         ("--cycle-budget", "cycle_budget"),
         ("--retries", "retries"),
         ("--jobs", "jobs"),
         ("--threads", "threads"),
+        ("--designs", "designs"),
+        ("--seed", "seed"),
+        ("--window", "window"),
+        ("--report", "report"),
+        ("--inject", "inject"),
     ];
     let mut out = Vec::with_capacity(args.len());
     let mut it = args.iter();
@@ -238,5 +244,70 @@ mod tests {
         assert_eq!(parse_seeds("1, 2,3").unwrap(), vec![1, 2, 3]);
         assert!(parse_seeds("1,x").is_err());
         assert!(parse_seeds("").is_err());
+    }
+
+    #[test]
+    fn kv_parsing_handles_degenerate_pairs() {
+        // Only the first `=` splits; later ones stay in the value.
+        let kv = parse_kv(&strings(&["path=/a=b/c", "eq==", "k="]));
+        assert_eq!(kv.get("path").map(String::as_str), Some("/a=b/c"));
+        assert_eq!(kv.get("eq").map(String::as_str), Some("="));
+        assert_eq!(kv.get("k").map(String::as_str), Some(""));
+        // A later duplicate key wins (last-writer collect semantics).
+        let kv = parse_kv(&strings(&["seed=1", "seed=2"]));
+        assert_eq!(kv.get("seed").map(String::as_str), Some("2"));
+    }
+
+    #[test]
+    fn verify_flags_normalize_in_both_spellings() {
+        let out = normalize_flags(&strings(&[
+            "verify",
+            "--designs",
+            "64",
+            "--seed=7",
+            "--window",
+            "2000",
+            "--report=/tmp/r.json",
+            "--inject",
+            "rob-off-by-one",
+        ]))
+        .expect("parses");
+        assert_eq!(
+            out,
+            strings(&[
+                "verify",
+                "designs=64",
+                "seed=7",
+                "window=2000",
+                "report=/tmp/r.json",
+                "inject=rob-off-by-one",
+            ])
+        );
+        for flag in ["--designs", "--seed", "--window", "--report", "--inject"] {
+            let err = normalize_flags(&strings(&[flag])).expect_err("missing value");
+            assert!(err.contains(flag), "{err}");
+        }
+    }
+
+    #[test]
+    fn method_names_reject_near_misses() {
+        assert!(parse_method("ArchExplorer").is_err(), "names are lowercase");
+        assert!(parse_method("archexplorer ").is_err(), "no trimming here");
+        assert!(parse_method("").is_err());
+        // The list parser does trim around commas.
+        assert_eq!(
+            parse_methods(" archexplorer ").unwrap(),
+            vec![Method::ArchExplorer]
+        );
+    }
+
+    #[test]
+    fn seed_lists_reject_malformed_numbers() {
+        assert!(parse_seeds("-1").is_err(), "seeds are unsigned");
+        assert!(parse_seeds("1.5").is_err());
+        assert!(parse_seeds("0x10").is_err());
+        assert!(parse_seeds(",,,").is_err(), "only separators is empty");
+        assert!(parse_seeds("18446744073709551616").is_err(), "u64 overflow");
+        assert_eq!(parse_seeds("18446744073709551615").unwrap(), vec![u64::MAX]);
     }
 }

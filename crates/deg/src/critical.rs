@@ -141,7 +141,25 @@ pub fn critical_path_in(arena: &mut DegArena, deg: &mut Deg) -> CriticalPath {
 /// Like [`critical_path`], for call sites that only hold a shared
 /// reference: **clones the entire graph** to build its CSR cache. On a
 /// multi-thousand-node DEG the copy dwarfs the DP itself, so every hot
-/// path should borrow mutably and call [`critical_path`] instead.
+/// path should borrow mutably and call [`critical_path`] — the CSR
+/// default, which freezes the edge index in place and allocates nothing
+/// beyond the DP arrays — and reserve this variant for cold paths.
+///
+/// ```
+/// use archx_sim::{MicroArch, OooCore, trace_gen};
+/// use archx_deg::prelude::*;
+///
+/// let result = OooCore::new(MicroArch::baseline())
+///     .run(&trace_gen::mixed_workload(500, 1))
+///     .expect("simulates");
+/// let induced = induce(build_deg(&result));
+/// // Shared reference only: pays a full graph copy per call.
+/// let cloned = critical_path_cloned(&induced);
+/// // The CSR default borrows mutably and reuses the graph's storage.
+/// let mut owned = induced;
+/// assert_eq!(critical_path(&mut owned), cloned);
+/// assert_eq!(cloned.total_delay, result.trace.cycles);
+/// ```
 pub fn critical_path_cloned(deg: &Deg) -> CriticalPath {
     let mut deg = deg.clone();
     critical_path(&mut deg)

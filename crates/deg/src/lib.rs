@@ -44,6 +44,7 @@ pub mod export;
 pub mod graph;
 pub mod induced;
 pub mod naive;
+pub mod validate;
 
 /// Convenient re-exports of the main entry points.
 pub mod prelude {
@@ -55,6 +56,10 @@ pub mod prelude {
     };
     pub use crate::graph::{Deg, EdgeKind, NodeId, Stage};
     pub use crate::induced::induce;
+    pub use crate::validate::{
+        validate_deg, validate_exactness, validate_exactness_window, validate_times,
+        ValidationError,
+    };
 }
 
 pub use arena::DegArena;
@@ -64,3 +69,6 @@ pub use calipers::CalipersModel;
 pub use critical::{critical_path, critical_path_cloned, critical_path_in, CriticalPath};
 pub use graph::{Deg, Edge, EdgeKind, NodeId, Stage};
 pub use induced::induce;
+pub use validate::{
+    validate_deg, validate_exactness, validate_exactness_window, validate_times, ValidationError,
+};

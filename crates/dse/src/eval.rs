@@ -416,19 +416,6 @@ impl Evaluator {
         EvaluatorBuilder::new(workloads)
     }
 
-    /// Builds an evaluator over `workloads`, synthesising
-    /// `instrs_per_workload` instructions per trace with the given seed.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Evaluator::builder(workloads).window(n).seed(s).build()`"
-    )]
-    pub fn new(workloads: Vec<Workload>, instrs_per_workload: usize, seed: u64) -> Self {
-        Evaluator::builder(workloads)
-            .window(instrs_per_workload)
-            .seed(seed)
-            .build()
-    }
-
     /// Restricts worker threads (1 = fully serial, deterministic ordering
     /// is preserved either way).
     pub fn with_threads(mut self, threads: usize) -> Self {

@@ -23,7 +23,11 @@
 //! * [`ml`] — the self-contained surrogate toolkit (Cholesky, GP,
 //!   regression trees, boosting, ranking);
 //! * [`campaign`] — method-versus-method comparisons producing the
-//!   hypervolume-versus-simulations curves of Figure 12 / Table 5.
+//!   hypervolume-versus-simulations curves of Figure 12 / Table 5;
+//! * [`verify`] — the differential verification harness (`archx verify`):
+//!   seeded design × workload × window sweeps under `CheckedCore`
+//!   invariants and the DEG validation oracles, with metamorphic checks
+//!   and shrinking reproducers.
 //!
 //! ```no_run
 //! use archx_dse::prelude::*;
@@ -45,6 +49,7 @@ pub mod ml;
 pub mod pareto;
 pub mod reassign;
 pub mod space;
+pub mod verify;
 
 /// Default worker-thread count for workload-parallel simulation: the
 /// machine's parallelism, capped at 8 (suites have ≤14 workloads, and the
@@ -71,6 +76,7 @@ pub mod prelude {
     pub use crate::journal::{Journal, JournalError, JournalFingerprint, JournalRecord};
     pub use crate::pareto::{dominates, hypervolume, pareto_front, ExplorationSet, RefPoint};
     pub use crate::space::{DesignSpace, ParamId};
+    pub use crate::verify::{run_verify, VerifyConfig, VerifyReport, Violation};
 }
 
 pub use archexplorer::{run_archexplorer, ArchExplorerOptions};
@@ -87,3 +93,4 @@ pub use governor::{Lease, ThreadGovernor};
 pub use journal::{Journal, JournalError, JournalFingerprint, JournalRecord};
 pub use pareto::{hypervolume, pareto_front, ExplorationSet, RefPoint};
 pub use space::{DesignSpace, ParamId};
+pub use verify::{run_verify, VerifyConfig, VerifyReport, Violation};

@@ -44,6 +44,18 @@ pub enum SimError {
         /// Rendered parse error (with line context where available).
         message: String,
     },
+    /// A `CheckedCore` per-cycle invariant check failed (see
+    /// `archx_sim::check`): the pipeline reached a state that breaks a
+    /// structural property the model guarantees.
+    InvariantViolation {
+        /// Machine-readable check tag (e.g. `occupancy/ROB`), mirrored by
+        /// the `verify/violation/<check>` telemetry counter.
+        check: String,
+        /// Cycle at which the violation was detected.
+        cycle: Cycle,
+        /// Rendered diagnostic.
+        message: String,
+    },
 }
 
 impl SimError {
@@ -55,14 +67,19 @@ impl SimError {
             SimError::CycleBudgetExceeded { .. } => "cycle_budget",
             SimError::InvalidArch { .. } => "invalid_arch",
             SimError::TraceError { .. } => "trace_error",
+            SimError::InvariantViolation { .. } => "invariant",
         }
     }
 
     /// Whether re-running the same design with a smaller instruction
-    /// window could plausibly succeed. Validation failures are
-    /// deterministic properties of the design and never retried.
+    /// window could plausibly succeed. Validation failures and invariant
+    /// violations are deterministic properties of the design (or of the
+    /// simulator itself) and never retried.
     pub fn retryable(&self) -> bool {
-        !matches!(self, SimError::InvalidArch { .. })
+        !matches!(
+            self,
+            SimError::InvalidArch { .. } | SimError::InvariantViolation { .. }
+        )
     }
 }
 
@@ -87,6 +104,11 @@ impl std::fmt::Display for SimError {
             ),
             SimError::InvalidArch { message } => write!(f, "invalid microarchitecture: {message}"),
             SimError::TraceError { message } => write!(f, "trace error: {message}"),
+            SimError::InvariantViolation {
+                check,
+                cycle,
+                message,
+            } => write!(f, "invariant violation [{check}] at cycle {cycle}: {message}"),
         }
     }
 }

@@ -41,6 +41,7 @@
 pub mod arena;
 pub mod bpred;
 pub mod cache;
+pub mod check;
 pub mod config;
 pub mod error;
 pub mod extern_trace;
@@ -54,6 +55,7 @@ pub mod trace;
 pub mod trace_gen;
 
 pub use arena::SimArena;
+pub use check::{CheckConfig, InjectedFault};
 pub use config::MicroArch;
 pub use error::SimError;
 pub use isa::{Instruction, OpClass, Reg, RegClass};

@@ -16,6 +16,7 @@
 use crate::arena::SimArena;
 use crate::bpred::BranchPredictor;
 use crate::cache::Hierarchy;
+use crate::check::{CheckConfig, InvariantChecker};
 use crate::config::{MemDepPolicy, MicroArch};
 use crate::error::SimError;
 use crate::fu::FuSet;
@@ -41,18 +42,20 @@ pub const MEMDEP_REPLAY: Cycle = 3;
 pub const DEADLOCK_WATCHDOG: Cycle = 1_000_000;
 
 /// Per-instruction bookkeeping that is not part of the public trace.
+/// Fields are crate-visible so the invariant checker
+/// ([`crate::check`]) can audit them.
 #[derive(Debug, Clone)]
 pub(crate) struct Aux {
-    rob: u32,
-    iq: u32,
-    lq: u32,
-    sq: u32,
-    reg: u32,
-    reg_class: Option<RegClass>,
-    src_producers: [InstrIdx; 2],
-    fu_blocked: bool,
+    pub(crate) rob: u32,
+    pub(crate) iq: u32,
+    pub(crate) lq: u32,
+    pub(crate) sq: u32,
+    pub(crate) reg: u32,
+    pub(crate) reg_class: Option<RegClass>,
+    pub(crate) src_producers: [InstrIdx; 2],
+    pub(crate) fu_blocked: bool,
     /// Earliest commit cycle gate (memory-order violation replays).
-    commit_gate: Cycle,
+    pub(crate) commit_gate: Cycle,
 }
 
 impl Default for Aux {
@@ -96,6 +99,7 @@ pub struct OooCore {
     arch: MicroArch,
     cycle_budget: Option<Cycle>,
     watchdog: Cycle,
+    checks: Option<CheckConfig>,
 }
 
 impl OooCore {
@@ -118,7 +122,29 @@ impl OooCore {
             arch,
             cycle_budget: None,
             watchdog: DEADLOCK_WATCHDOG,
+            checks: None,
         })
+    }
+
+    /// Creates a core in the **`CheckedCore` mode**: identical simulation
+    /// semantics plus per-cycle invariant checking at the default
+    /// [`CheckConfig`] (see [`crate::check`]). Equivalent to
+    /// `OooCore::new(arch).with_invariant_checks(CheckConfig::default())`.
+    pub fn checked(arch: MicroArch) -> Self {
+        Self::new(arch).with_invariant_checks(CheckConfig::default())
+    }
+
+    /// Enables the `CheckedCore` mode: every simulated cycle re-verifies
+    /// the pipeline's structural invariants — in-order commit, stage-time
+    /// ordering, pool occupancy bounds, free-list conservation,
+    /// memory-order replay gates, and clock monotonicity — and the first
+    /// violation ends the run with [`SimError::InvariantViolation`].
+    ///
+    /// Checks are flag-gated at runtime: a core without this call pays a
+    /// single predictable branch per cycle, nothing else.
+    pub fn with_invariant_checks(mut self, cfg: CheckConfig) -> Self {
+        self.checks = Some(cfg);
+        self
     }
 
     /// Caps a single simulation at `budget` cycles; exceeding it returns
@@ -251,6 +277,7 @@ impl OooCore {
         // Per-load-PC saturating conflict counters (store-set predictor).
         conflict.clear();
 
+        let mut checker = self.checks.map(InvariantChecker::new);
         let mut commit_head: InstrIdx = 0;
         let mut cycle: Cycle = 0;
         let mut last_commit_cycle: Cycle = 0;
@@ -261,6 +288,7 @@ impl OooCore {
 
         while commit_head < n {
             // ---- Commit (in-order, up to width per cycle) ----
+            let commit_start = commit_head;
             let mut committed_now = 0;
             while committed_now < arch.width
                 && commit_head < n
@@ -731,6 +759,27 @@ impl OooCore {
                 if let Some(b) = blocked {
                     fetch_blocked_by = Some(b);
                     refill_pending = Some(b);
+                }
+            }
+
+            // ---- Invariant checks (CheckedCore mode only) ----
+            if let Some(chk) = checker.as_mut() {
+                if let Err(e) = chk.end_of_cycle(
+                    cycle,
+                    commit_start..commit_head,
+                    &events,
+                    aux,
+                    [
+                        (&rob, ResourceKind::Rob),
+                        (&iq_pool, ResourceKind::Iq),
+                        (&lq_pool, ResourceKind::Lq),
+                        (&sq_pool, ResourceKind::Sq),
+                        (&int_rf, ResourceKind::IntRf),
+                        (&fp_rf, ResourceKind::FpRf),
+                    ],
+                ) {
+                    *arena_events = events; // reinstall for the next run
+                    return Err(e);
                 }
             }
 

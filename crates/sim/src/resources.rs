@@ -88,6 +88,14 @@ impl Pool {
         self.free.push_back(entry);
     }
 
+    /// Entries currently held according to the per-entry scoreboard.
+    /// Equals [`Pool::in_use`] exactly when the free list and the holder
+    /// scoreboard agree — the conservation invariant the `CheckedCore`
+    /// mode audits every cycle.
+    pub fn held_count(&self) -> u32 {
+        self.holder.iter().filter(|&&h| h != NO_INSTR).count() as u32
+    }
+
     /// The instruction currently holding `entry`, if any.
     pub fn holder(&self, entry: u32) -> Option<InstrIdx> {
         let h = self.holder[entry as usize];

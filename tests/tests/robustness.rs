@@ -5,7 +5,7 @@
 //! re-simulating journaled designs.
 
 use archexplorer::dse::campaign::{build_evaluator, run_method_on, CampaignConfig};
-use archexplorer::dse::journal::Journal;
+use archexplorer::dse::journal::{Journal, JournalError};
 use archexplorer::prelude::*;
 use std::path::PathBuf;
 
@@ -196,6 +196,71 @@ fn resume_rejects_a_mismatched_campaign() {
         .build();
     let err = Journal::resume(&path, &other.fingerprint(vec![])).expect_err("must mismatch");
     assert!(err.to_string().contains("trace_seed"), "got: {err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_tail_is_reevaluated_but_interior_corruption_is_fatal() {
+    // A `kill -9` mid-append leaves half a JSON record at the end of the
+    // journal: resume must drop exactly that record (the evaluation it
+    // described is simply redone). The same damage anywhere *earlier*
+    // means the file was edited or the disk lied — a hard error.
+    let dir = temp_dir("torn");
+    let path = dir.join("full.jsonl");
+    let budget = 12;
+    let ev = build_evaluator(&suite(), &cfg(budget));
+    let fp = ev.fingerprint(vec![("method".into(), "Random".into())]);
+    ev.set_journal(Journal::create(&path, &fp).expect("create journal"));
+    run_method_on(Method::Random, &DesignSpace::table4(), &ev, budget, 9);
+    assert!(ev.journal_error().is_none());
+
+    let text = std::fs::read_to_string(&path).expect("journal readable");
+    let records_written = text.lines().count() - 1;
+    assert!(
+        records_written >= 3,
+        "campaign should journal several designs"
+    );
+
+    // Cut the file mid-way through the final record (byte-level, not at a
+    // line boundary).
+    let body = text.trim_end();
+    let last_line_start = body.rfind('\n').expect("multi-line journal") + 1;
+    let cut = last_line_start + (body.len() - last_line_start) / 2;
+    let torn_path = dir.join("torn.jsonl");
+    std::fs::write(&torn_path, &text[..cut]).expect("write torn journal");
+
+    let ev_torn = build_evaluator(&suite(), &cfg(budget));
+    let (_, records) = Journal::resume(
+        &torn_path,
+        &ev_torn.fingerprint(vec![("method".into(), "Random".into())]),
+    )
+    .expect("a torn tail is recoverable");
+    assert_eq!(
+        records.len(),
+        records_written - 1,
+        "only the torn final record is dropped"
+    );
+
+    // The identical half-record damage on an interior line is fatal, and
+    // the error names the corrupt line.
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    let mid = 1 + records_written / 2;
+    let keep = lines[mid].len() / 2;
+    lines[mid].truncate(keep);
+    let corrupt_path = dir.join("corrupt.jsonl");
+    std::fs::write(&corrupt_path, lines.join("\n") + "\n").expect("write corrupt journal");
+
+    let ev_corrupt = build_evaluator(&suite(), &cfg(budget));
+    let err = Journal::resume(
+        &corrupt_path,
+        &ev_corrupt.fingerprint(vec![("method".into(), "Random".into())]),
+    )
+    .expect_err("interior corruption must not be silently dropped");
+    match err {
+        JournalError::Corrupt { line, .. } => assert_eq!(line, mid + 1),
+        other => panic!("expected JournalError::Corrupt, got {other}"),
+    }
 
     let _ = std::fs::remove_dir_all(&dir);
 }
